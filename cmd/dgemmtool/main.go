@@ -1,0 +1,79 @@
+// Command dgemmtool exercises the DGEMM layers: it verifies the real
+// kernels against each other and prints the machine model's projection for
+// a requested shape.
+//
+// Usage:
+//
+//	dgemmtool -m 512 -n 512 -k 256 -verify
+//	dgemmtool -m 28000 -n 28000 -k 300 -project
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phihpl/internal/blas"
+	"phihpl/internal/matrix"
+	"phihpl/internal/offload"
+	"phihpl/internal/pack"
+	"phihpl/internal/perfmodel"
+)
+
+func main() {
+	var (
+		m       = flag.Int("m", 512, "rows of C")
+		n       = flag.Int("n", 512, "cols of C")
+		k       = flag.Int("k", 256, "inner dimension")
+		verify  = flag.Bool("verify", false, "run all real DGEMM paths and compare")
+		project = flag.Bool("project", false, "print machine-model projections")
+		seed    = flag.Uint64("seed", 1, "operand seed")
+	)
+	flag.Parse()
+	if !*verify && !*project {
+		*verify = true
+	}
+
+	if *verify {
+		a := matrix.RandomGeneral(*m, *k, *seed)
+		b := matrix.RandomGeneral(*k, *n, *seed+1)
+		ref := matrix.NewDense(*m, *n)
+		blas.Dgemm(false, false, 1, a, b, 0, ref)
+
+		packed := matrix.NewDense(*m, *n)
+		pack.Gemm(pack.PackA(a, pack.DefaultTileM), pack.PackB(b), packed, 4)
+		fmt.Printf("packed-tile kernel vs reference: maxdiff %.3g\n", matrix.MaxDiff(packed, ref))
+
+		off := matrix.NewDense(*m, *n)
+		stats := offload.Compute(a, b, off, offload.RealConfig{Mt: 64, Nt: 64, CardWorkers: 2, HostWorkers: 2})
+		fmt.Printf("offload work-stealing vs reference: maxdiff %.3g (card %d tiles, host %d tiles)\n",
+			matrix.MaxDiff(off, ref), stats.CardTiles, stats.HostTiles)
+
+		par := matrix.NewDense(*m, *n)
+		blas.DgemmParallel(false, false, 1, a, b, 0, par, 8)
+		if !matrix.Equal(par, ref) {
+			fmt.Println("parallel DGEMM mismatch!")
+			os.Exit(1)
+		}
+		fmt.Println("parallel DGEMM: bitwise identical to reference")
+	}
+
+	if *project {
+		knc := perfmodel.NewKNC()
+		snb := perfmodel.NewSNB()
+		fmt.Printf("Knights Corner DGEMM %dx%dx%d: %.1f GFLOPS (%.1f%% of 60-core peak)\n",
+			*m, *n, *k, knc.DgemmGFLOPS(*m, *n, *k), knc.DgemmEff(*m, *n, *k)*100)
+		fmt.Printf("Sandy Bridge EP (MKL model):   %.1f GFLOPS (%.1f%%)\n",
+			snb.DgemmEff(minInt(*m, *n))*snb.Arch.PeakDPGFLOPS(), snb.DgemmEff(minInt(*m, *n))*100)
+		r := offload.Simulate(*m, *n, offload.SimConfig{Cards: 1})
+		fmt.Printf("offload DGEMM (1 card, Kt=1200): %.1f GFLOPS (%.1f%%), tile %d\n",
+			r.GFLOPS, r.Eff*100, r.Mt)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,108 @@
+// Command hpl runs Linpack: either a real, residual-checked solve (native
+// in-process or distributed over goroutine "nodes"), or a virtual-time
+// hybrid HPL projection for a Knights Corner cluster, printing an
+// HPL.out-style report.
+//
+// Usage:
+//
+//	hpl -real -n 2000 -nb 64 -ranks 4          # real distributed solve
+//	hpl -n 84000 -cards 1 -mode pipelined      # hybrid projection
+//	hpl -n 825600 -p 10 -q 10 -cards 1 -mode pipelined
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"phihpl"
+	"phihpl/internal/hplio"
+)
+
+func main() {
+	var (
+		dat   = flag.String("dat", "", "run every combination in an HPL.dat-style file (use '-' for a built-in example)")
+		real  = flag.Bool("real", false, "run a real, residual-checked solve instead of a projection")
+		n     = flag.Int("n", 84000, "problem size")
+		nb    = flag.Int("nb", 0, "block size (0 = default: 64 real, 1200 hybrid)")
+		p     = flag.Int("p", 1, "process rows")
+		q     = flag.Int("q", 1, "process columns")
+		ranks = flag.Int("ranks", 4, "ranks for -real distributed solve")
+		cards = flag.Int("cards", 1, "coprocessor cards per node (0 = CPU only)")
+		mem   = flag.Int("mem", 64, "host memory per node (GiB)")
+		mode  = flag.String("mode", "pipelined", "look-ahead: none | basic | pipelined")
+		seed  = flag.Uint64("seed", 1, "matrix seed for -real")
+	)
+	flag.Parse()
+
+	if *dat != "" {
+		var r io.Reader
+		if *dat == "-" {
+			r = strings.NewReader(hplio.Example())
+		} else {
+			f, err := os.Open(*dat)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			r = f
+		}
+		// Combinations up to N=2000 run the real distributed solver.
+		if err := phihpl.RunDat(r, os.Stdout, 2000); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *real {
+		res, err := phihpl.SolveDistributed(*n, *nb, *ranks, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		status := "PASSED"
+		if !res.Passed {
+			status = "FAILED"
+		}
+		fmt.Printf("N=%d ranks=%d\n", *n, *ranks)
+		fmt.Printf("||Ax-b||_oo/(eps*(||A||_oo*||x||_oo+||b||_oo)*N) = %10.7f ...... %s\n",
+			res.Residual, status)
+		if !res.Passed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var la phihpl.HybridConfig
+	la.N, la.NB, la.P, la.Q = *n, *nb, *p, *q
+	la.Cards, la.HostMemGiB = *cards, *mem
+	switch *mode {
+	case "none":
+		la.Lookahead = phihpl.NoLookahead
+	case "basic":
+		la.Lookahead = phihpl.BasicLookahead
+	case "pipelined":
+		la.Lookahead = phihpl.PipelinedLookahead
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	r := phihpl.HybridHPLSim(la)
+	fmt.Printf("T/V                N    NB     P     Q               Time                 Gflops\n")
+	fmt.Printf("--------------------------------------------------------------------------------\n")
+	fmt.Printf("WR%-9s %8d %5d %5d %5d %18.2f %22.3e\n",
+		*mode, la.N, maxInt(la.NB, 1200), la.P, la.Q, r.Seconds, r.TFLOPS*1000)
+	fmt.Printf("efficiency: %.1f%% of node peak, coprocessor idle: %.1f%%\n",
+		r.Eff*100, r.CardIdleFrac*100)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+// Command kncbench regenerates the tables and figures of the paper's
+// evaluation section on the simulated Knights Corner machine.
+//
+// Usage:
+//
+//	kncbench -list
+//	kncbench -exp table2
+//	kncbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"phihpl"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	exp := flag.String("exp", "", "experiment id (table1, table2, fig4, fig6, fig7, fig9, fig11, table3, all)")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range phihpl.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	if *exp == "all" {
+		for _, e := range phihpl.Experiments() {
+			fmt.Printf("=== %s: %s ===\n%s\n", e.ID, e.Title, e.Run())
+		}
+		return
+	}
+	e := phihpl.FindExperiment(*exp)
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("=== %s: %s ===\n%s", e.ID, e.Title, e.Run())
+}

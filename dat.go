@@ -1,0 +1,74 @@
+package phihpl
+
+import (
+	"io"
+
+	"phihpl/internal/hpl"
+	"phihpl/internal/hplio"
+	"phihpl/internal/perfmodel"
+)
+
+// RunDat parses an HPL.dat-style parameter file, runs every combination of
+// its parameter lists, and writes an HPL.out-style report to w.
+//
+// Combinations with N <= realBelow execute the *real* 2D block-cyclic
+// distributed solver on P×Q in-process ranks, measuring the actual HPL
+// residual; larger combinations are priced on the simulated Knights Corner
+// cluster (1 card per node), for which no residual line is printed — the
+// same split a user of this repository would want.
+func RunDat(r io.Reader, w io.Writer, realBelow int) error {
+	params, err := hplio.Parse(r)
+	if err != nil {
+		return err
+	}
+	var results []hplio.Result
+	for _, c := range params.Combinations() {
+		res := hplio.Result{Combination: c, Residual: -1}
+		if c.N <= realBelow {
+			dr, err := hpl.SolveDistributed2D(c.N, c.NB, c.P, c.Q, 0x5eed)
+			if err != nil {
+				return err
+			}
+			// Virtual-time estimate is meaningless for the host run; use
+			// the model's node projection for the Gflops column anyway so
+			// the report stays comparable, but keep the real residual.
+			res.Residual = dr.Residual
+			res.Passed = dr.Residual < ResidualThreshold
+		}
+		sim := hpl.Simulate(hpl.SimConfig{
+			N: c.N, NB: simNB(c.NB), P: c.P, Q: c.Q, Cards: 1,
+			Lookahead: depthToMode(c.Depth),
+		})
+		res.Seconds = sim.Seconds
+		res.GFLOPS = sim.TFLOPS * 1000
+		results = append(results, res)
+	}
+	hplio.SortResults(results)
+	hplio.WriteReport(w, results)
+	return nil
+}
+
+// simNB keeps the virtual-time model in its calibrated blocking regime:
+// the offload depth must stay above the PCIe bound, so tiny NBs from a
+// real-solve-oriented dat file are promoted to the paper's Kt.
+func simNB(nb int) int {
+	if nb < 600 {
+		return 1200
+	}
+	return nb
+}
+
+// depthToMode maps HPL.dat look-ahead depths onto the paper's schemes.
+func depthToMode(d int) hpl.Mode {
+	switch d {
+	case 0:
+		return hpl.NoLookahead
+	case 2:
+		return hpl.PipelinedLookahead
+	default:
+		return hpl.BasicLookahead
+	}
+}
+
+// LUFlops re-exports the standard Linpack flop count 2/3·n³ + 2·n².
+func LUFlops(n int) float64 { return perfmodel.LUFlops(n) }

@@ -1,0 +1,3 @@
+module phihpl
+
+go 1.22

@@ -1,0 +1,51 @@
+package blas
+
+import "phihpl/internal/matrix"
+
+// DgemmBlocked computes C = alpha*A*B + beta*C with explicit cache
+// blocking (Section III-A1): the k dimension is split into kc-deep outer
+// products and the rows of A into mc-tall blocks, so each mc×kc A-block
+// stays resident while it streams over B — the Goto-style decomposition
+// the paper's DGEMM is built on, here for the host's real caches.
+//
+// mc/kc <= 0 pick defaults sized for a 256 KB L2 (the host's, Table I).
+func DgemmBlocked(alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense, mc, kc int) {
+	m, k := a.Rows, a.Cols
+	n := b.Cols
+	if b.Rows != k || c.Rows != m || c.Cols != n {
+		panic("blas: DgemmBlocked dimension mismatch")
+	}
+	if mc <= 0 {
+		mc = 128
+	}
+	if kc <= 0 {
+		kc = 128
+	}
+	// Scale C once.
+	if beta == 0 {
+		c.Zero()
+	} else if beta != 1 {
+		for i := 0; i < m; i++ {
+			Dscal(beta, c.Row(i))
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	for k0 := 0; k0 < k; k0 += kc {
+		kb := kc
+		if k0+kb > k {
+			kb = k - k0
+		}
+		bBlk := b.View(k0, 0, kb, n)
+		for m0 := 0; m0 < m; m0 += mc {
+			mb := mc
+			if m0+mb > m {
+				mb = m - m0
+			}
+			aBlk := a.View(m0, k0, mb, kb)
+			cBlk := c.View(m0, 0, mb, n)
+			dgemmRows(alpha, aBlk, bBlk, 1, cBlk, 0, mb)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package blas
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phihpl/internal/matrix"
+)
+
+func TestDgemmBlockedMatchesReference(t *testing.T) {
+	for _, tc := range []struct{ m, n, k, mc, kc int }{
+		{50, 40, 30, 16, 8},
+		{50, 40, 30, 0, 0},   // defaults
+		{7, 9, 5, 100, 100},  // blocks larger than matrix
+		{64, 64, 64, 64, 64}, // exact fit
+		{65, 31, 33, 16, 16}, // ragged
+	} {
+		a := matrix.RandomGeneral(tc.m, tc.k, uint64(tc.m))
+		b := matrix.RandomGeneral(tc.k, tc.n, uint64(tc.n))
+		c0 := matrix.RandomGeneral(tc.m, tc.n, 3)
+		got := c0.Clone()
+		DgemmBlocked(1.5, a, b, -0.5, got, tc.mc, tc.kc)
+		want := c0.Clone()
+		Dgemm(false, false, 1.5, a, b, -0.5, want)
+		if d := matrix.MaxDiff(got, want); d > 1e-11 {
+			t.Errorf("%+v: maxdiff %g", tc, d)
+		}
+	}
+}
+
+func TestDgemmBlockedAlphaBetaEdges(t *testing.T) {
+	a := matrix.RandomGeneral(10, 10, 1)
+	b := matrix.RandomGeneral(10, 10, 2)
+	c := matrix.RandomGeneral(10, 10, 3)
+	orig := c.Clone()
+	DgemmBlocked(0, a, b, 1, c, 4, 4)
+	if !matrix.Equal(c, orig) {
+		t.Error("alpha=0, beta=1 must not change C")
+	}
+	DgemmBlocked(0, a, b, 0, c, 4, 4)
+	if c.MaxAbs() != 0 {
+		t.Error("alpha=0, beta=0 must zero C")
+	}
+}
+
+func TestDgemmBlockedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	DgemmBlocked(1, matrix.NewDense(2, 3), matrix.NewDense(4, 2), 0, matrix.NewDense(2, 2), 4, 4)
+}
+
+func TestDgemmBlockedProperty(t *testing.T) {
+	f := func(seed uint64, mcR, kcR uint8) bool {
+		mc := 1 + int(mcR)%40
+		kc := 1 + int(kcR)%40
+		a := matrix.RandomGeneral(30, 20, seed)
+		b := matrix.RandomGeneral(20, 25, seed^3)
+		got := matrix.NewDense(30, 25)
+		DgemmBlocked(1, a, b, 0, got, mc, kc)
+		want := matrix.NewDense(30, 25)
+		Dgemm(false, false, 1, a, b, 0, want)
+		return matrix.MaxDiff(got, want) < 1e-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+package blas
+
+import (
+	"math"
+	"testing"
+
+	"phihpl/internal/matrix"
+)
+
+func TestDlange(t *testing.T) {
+	a := matrix.FromRows([][]float64{{3, -4}, {0, 0}})
+	if Dlange('M', a) != 4 {
+		t.Error("max norm")
+	}
+	if Dlange('1', a) != 4 || Dlange('O', a) != 4 {
+		t.Error("one norm")
+	}
+	if Dlange('I', a) != 7 {
+		t.Error("inf norm")
+	}
+	if Dlange('F', a) != 5 {
+		t.Error("frobenius")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown norm should panic")
+		}
+	}()
+	Dlange('X', a)
+}
+
+func TestCondEst1Identity(t *testing.T) {
+	n := 12
+	a := matrix.Eye(n)
+	lu := a.Clone()
+	piv := make([]int, n)
+	if err := Dgetrf(lu, piv, 4); err != nil {
+		t.Fatal(err)
+	}
+	c := CondEst1(lu, piv, Dlange('1', a))
+	if math.Abs(c-1) > 1e-12 {
+		t.Errorf("cond(I) = %v, want 1", c)
+	}
+}
+
+func TestCondEst1DiagonalExact(t *testing.T) {
+	// diag(1, 1e-6): kappa_1 = 1e6 exactly.
+	a := matrix.NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 1e-6)
+	lu := a.Clone()
+	piv := make([]int, 2)
+	if err := Dgetrf(lu, piv, 2); err != nil {
+		t.Fatal(err)
+	}
+	c := CondEst1(lu, piv, Dlange('1', a))
+	if math.Abs(c-1e6)/1e6 > 1e-9 {
+		t.Errorf("cond = %v, want 1e6", c)
+	}
+}
+
+func TestCondEst1Hilbert(t *testing.T) {
+	// Hilbert(8) has kappa_1 ~ 3.4e10; the estimator must land within an
+	// order of magnitude (it is a lower-bound style estimator).
+	a := matrix.Hilbert(8)
+	lu := a.Clone()
+	piv := make([]int, 8)
+	if err := Dgetrf(lu, piv, 4); err != nil {
+		t.Fatal(err)
+	}
+	c := CondEst1(lu, piv, Dlange('1', a))
+	if c < 1e9 || c > 1e12 {
+		t.Errorf("cond(Hilbert(8)) estimate = %g, want ~3e10", c)
+	}
+}
+
+func TestCondEst1WellConditionedRandom(t *testing.T) {
+	a := matrix.RandomGeneral(40, 40, 5)
+	lu := a.Clone()
+	piv := make([]int, 40)
+	if err := Dgetrf(lu, piv, 8); err != nil {
+		t.Fatal(err)
+	}
+	c := CondEst1(lu, piv, Dlange('1', a))
+	if c < 1 {
+		t.Errorf("condition number below 1: %v", c)
+	}
+	if c > 1e8 {
+		t.Errorf("random 40x40 should be moderately conditioned, got %g", c)
+	}
+}
+
+func TestCondEst1Singular(t *testing.T) {
+	lu := matrix.NewDense(3, 3) // zero diagonal after "factorization"
+	if c := CondEst1(lu, make([]int, 3), 1); !math.IsInf(c, 1) {
+		t.Errorf("singular should be +Inf, got %v", c)
+	}
+}
+
+func TestCondEst1Degenerate(t *testing.T) {
+	a := matrix.Eye(2)
+	lu := a.Clone()
+	piv := make([]int, 2)
+	Dgetrf(lu, piv, 2)
+	if CondEst1(lu, piv, 0) != 0 {
+		t.Error("zero anorm")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	CondEst1(lu, make([]int, 3), 1)
+}
+
+func TestGrowthFactorRandomIsSmall(t *testing.T) {
+	a := matrix.RandomGeneral(60, 60, 77)
+	lu := a.Clone()
+	piv := make([]int, 60)
+	if err := Dgetrf(lu, piv, 12); err != nil {
+		t.Fatal(err)
+	}
+	g := GrowthFactor(a, lu)
+	if g < 1 || g > 100 {
+		t.Errorf("growth on random matrix = %v, want modest", g)
+	}
+}
+
+func TestGrowthFactorWilkinsonIsExponential(t *testing.T) {
+	// The adversarial matrix reaches the 2^(n-1) worst case.
+	n := 20
+	a := matrix.Wilkinson(n)
+	lu := a.Clone()
+	piv := make([]int, n)
+	if err := Dgetrf(lu, piv, 4); err != nil {
+		t.Fatal(err)
+	}
+	g := GrowthFactor(a, lu)
+	want := math.Pow(2, float64(n-1))
+	if math.Abs(g-want)/want > 1e-9 {
+		t.Errorf("Wilkinson growth = %g, want 2^%d = %g", g, n-1, want)
+	}
+	// And no pivoting should have occurred.
+	for i, p := range piv {
+		if p != i {
+			t.Errorf("unexpected pivot at %d", i)
+		}
+	}
+}
+
+func TestGrowthFactorZero(t *testing.T) {
+	if GrowthFactor(matrix.NewDense(3, 3), matrix.NewDense(3, 3)) != 0 {
+		t.Error("zero matrix growth")
+	}
+}

@@ -1,0 +1,73 @@
+package blas
+
+import (
+	"testing"
+
+	"phihpl/internal/matrix"
+)
+
+// FuzzDgetf2 feeds arbitrary seeds/shapes into the panel factorization and
+// verifies the LU invariants: reconstruction, bounded multipliers, and
+// in-range pivots. Run with `go test -fuzz=FuzzDgetf2` for a deep hunt;
+// plain `go test` exercises the seed corpus.
+func FuzzDgetf2(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(4))
+	f.Add(uint64(42), uint8(20), uint8(6))
+	f.Add(uint64(7), uint8(1), uint8(1))
+	f.Add(uint64(0), uint8(31), uint8(15))
+	f.Fuzz(func(t *testing.T, seed uint64, mR, nR uint8) {
+		m := 1 + int(mR)%32
+		n := 1 + int(nR)%32
+		mn := m
+		if n < mn {
+			mn = n
+		}
+		a := matrix.RandomGeneral(m, n, seed)
+		orig := a.Clone()
+		piv := make([]int, mn)
+		if err := Dgetf2(a, piv); err != nil {
+			return // singular is a legal outcome
+		}
+		// Pivots in range and >= their position.
+		for k, p := range piv {
+			if p < k || p >= m {
+				t.Fatalf("pivot %d out of range: %d", k, p)
+			}
+		}
+		// Multipliers bounded by 1.
+		for i := 0; i < m; i++ {
+			for j := 0; j < i && j < n; j++ {
+				if v := a.At(i, j); v > 1+1e-12 || v < -1-1e-12 {
+					t.Fatalf("multiplier (%d,%d)=%v exceeds 1", i, j, v)
+				}
+			}
+		}
+		// Square case: reconstruct and compare.
+		if m == n {
+			recon := reconstructLU(a, piv)
+			if d := matrix.MaxDiff(recon, orig); d > 1e-8*(1+orig.MaxAbs()) {
+				t.Fatalf("reconstruction error %g", d)
+			}
+		}
+	})
+}
+
+// FuzzLUSolve checks that whenever factorization succeeds, the solve
+// passes the HPL residual test.
+func FuzzLUSolve(f *testing.F) {
+	f.Add(uint64(3), uint8(8))
+	f.Add(uint64(99), uint8(25))
+	f.Fuzz(func(t *testing.T, seed uint64, nR uint8) {
+		n := 1 + int(nR)%48
+		a, b := matrix.RandomSystem(n, seed)
+		lu := a.Clone()
+		piv := make([]int, n)
+		if err := Dgetrf(lu, piv, 8); err != nil {
+			return
+		}
+		x := LUSolve(lu, piv, b)
+		if r := matrix.Residual(a, x, b); r > matrix.ResidualThreshold {
+			t.Fatalf("residual %g for n=%d seed=%d", r, n, seed)
+		}
+	})
+}

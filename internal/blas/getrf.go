@@ -1,0 +1,171 @@
+package blas
+
+import (
+	"errors"
+
+	"phihpl/internal/matrix"
+)
+
+// ErrSingular is returned when a zero pivot is encountered during
+// factorization; the factor content up to that column is still valid.
+var ErrSingular = errors.New("blas: matrix is singular to working precision")
+
+// Dgetf2 factors the m×n panel A = P·L·U with partial pivoting using
+// unblocked right-looking elimination (the panel-factorization kernel,
+// "DGETRF" in the paper's Gantt charts). L is unit lower triangular and is
+// stored below the diagonal of A; U on and above. piv must have length
+// min(m,n); piv[k] records the row (>= k) swapped into position k.
+//
+// Row swaps are applied to the *full width* of the supplied view, so pass a
+// view restricted to the panel's columns and apply swaps to the remainder
+// separately with Dlaswp — exactly how blocked LU and HPL stage their
+// swapping.
+func Dgetf2(a *matrix.Dense, piv []int) error {
+	m, n := a.Rows, a.Cols
+	mn := m
+	if n < mn {
+		mn = n
+	}
+	if len(piv) != mn {
+		panic("blas: Dgetf2 pivot slice has wrong length")
+	}
+	var err error
+	for k := 0; k < mn; k++ {
+		p := IdamaxCol(a, k, k)
+		piv[k] = p
+		if a.At(p, k) == 0 {
+			if err == nil {
+				err = ErrSingular
+			}
+			continue
+		}
+		SwapRows(a, k, p)
+		akk := a.At(k, k)
+		// Scale the multiplier column and update the trailing submatrix.
+		for i := k + 1; i < m; i++ {
+			a.Set(i, k, a.At(i, k)/akk)
+		}
+		rowK := a.Row(k)
+		for i := k + 1; i < m; i++ {
+			lik := a.At(i, k)
+			if lik == 0 {
+				continue
+			}
+			rowI := a.Row(i)
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= lik * rowK[j]
+			}
+		}
+	}
+	return err
+}
+
+// Dlaswp applies the row interchanges recorded in piv (as produced by
+// Dgetf2, offset-relative) to the rows of a: for k = 0..len(piv)-1, rows
+// k+offset and piv[k]+offset are swapped. This is the "DLASWP" kernel of
+// the paper's execution profiles.
+func Dlaswp(a *matrix.Dense, piv []int, offset int) {
+	for k, p := range piv {
+		if p != k {
+			SwapRows(a, k+offset, p+offset)
+		}
+	}
+}
+
+// Dgetrf computes the blocked right-looking LU factorization with partial
+// pivoting of the square (or rectangular m>=n) matrix A in place, with
+// block size nb. It is the reference single-threaded driver; the
+// DAG-scheduled and look-ahead drivers in internal/lu produce identical
+// factors (they reorder independent work only).
+//
+// piv must have length min(m,n) and records global row swaps
+// (piv[k] is the absolute row index swapped with row k).
+func Dgetrf(a *matrix.Dense, piv []int, nb int) error {
+	m, n := a.Rows, a.Cols
+	mn := m
+	if n < mn {
+		mn = n
+	}
+	if len(piv) != mn {
+		panic("blas: Dgetrf pivot slice has wrong length")
+	}
+	if nb < 1 {
+		nb = 64
+	}
+	var firstErr error
+	for j := 0; j < mn; j += nb {
+		jb := nb
+		if j+jb > mn {
+			jb = mn - j
+		}
+		// Factor the current panel A[j:m, j:j+jb].
+		panel := a.View(j, j, m-j, jb)
+		localPiv := make([]int, jb)
+		if err := Dgetf2(panel, localPiv); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		// Record global pivots and apply the swaps to the columns outside
+		// the panel (left of j and right of j+jb).
+		for k, p := range localPiv {
+			piv[j+k] = p + j
+			if p != k {
+				if j > 0 {
+					SwapRows(a.View(0, 0, m, j), j+k, j+p)
+				}
+				if j+jb < n {
+					SwapRows(a.View(0, j+jb, m, n-j-jb), j+k, j+p)
+				}
+			}
+		}
+		if j+jb < n {
+			// U block row: solve L11 · U12 = A12.
+			l11 := a.View(j, j, jb, jb)
+			u12 := a.View(j, j+jb, jb, n-j-jb)
+			Dtrsm(Left, Lower, false, Unit, 1, l11, u12)
+			// Trailing update: A22 -= L21 · U12.
+			if j+jb < m {
+				l21 := a.View(j+jb, j, m-j-jb, jb)
+				a22 := a.View(j+jb, j+jb, m-j-jb, n-j-jb)
+				RankKUpdate(l21, u12, a22, 1)
+			}
+		}
+	}
+	return firstErr
+}
+
+// LUSolve solves A·x = b given the in-place LU factors and pivots produced
+// by Dgetrf (or the drivers in internal/lu). It applies the pivots to a
+// copy of b, then runs the forward (unit lower) and backward (upper)
+// substitutions.
+func LUSolve(lu *matrix.Dense, piv []int, b []float64) []float64 {
+	n := lu.Rows
+	if lu.Cols != n || len(b) != n || len(piv) != n {
+		panic("blas: LUSolve dimension mismatch")
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	for k, p := range piv {
+		if p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward: L·y = Pb.
+	for i := 0; i < n; i++ {
+		row := lu.Row(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Backward: U·x = y.
+	for i := n - 1; i >= 0; i-- {
+		row := lu.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}

@@ -1,0 +1,104 @@
+// Package blas implements the dense linear-algebra kernels the Linpack
+// benchmark is built from — DGEMM, DTRSM, DGETRF/DGETF2, DLASWP and the
+// level-1 routines they use — in pure Go over row-major matrices.
+//
+// These are the *functional* counterparts of the paper's hand-tuned Knights
+// Corner assembly: bit-real, residual-checked, and parallelized with
+// goroutines. Their *performance* on the simulated Knights Corner machine
+// is accounted separately by internal/kernels and internal/perfmodel.
+package blas
+
+import (
+	"math"
+
+	"phihpl/internal/matrix"
+)
+
+// Idamax returns the index of the element with the largest absolute value
+// in v, or -1 when v is empty. Ties resolve to the lowest index, matching
+// reference BLAS.
+func Idamax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, bestAbs := 0, math.Abs(v[0])
+	for i := 1; i < len(v); i++ {
+		if a := math.Abs(v[i]); a > bestAbs {
+			best, bestAbs = i, a
+		}
+	}
+	return best
+}
+
+// IdamaxCol returns the row index (relative to the view) of the largest
+// absolute value in column j of a, scanning rows [i0, a.Rows).
+func IdamaxCol(a *matrix.Dense, j, i0 int) int {
+	if i0 >= a.Rows {
+		return -1
+	}
+	best, bestAbs := i0, math.Abs(a.At(i0, j))
+	for i := i0 + 1; i < a.Rows; i++ {
+		if v := math.Abs(a.At(i, j)); v > bestAbs {
+			best, bestAbs = i, v
+		}
+	}
+	return best
+}
+
+// Dscal scales v by alpha.
+func Dscal(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Daxpy computes y += alpha*x.
+func Daxpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("blas: Daxpy length mismatch")
+	}
+	for i, xv := range x {
+		y[i] += alpha * xv
+	}
+}
+
+// Ddot returns x·y.
+func Ddot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("blas: Ddot length mismatch")
+	}
+	s := 0.0
+	for i, xv := range x {
+		s += xv * y[i]
+	}
+	return s
+}
+
+// SwapRows exchanges rows i and j of a (full width).
+func SwapRows(a *matrix.Dense, i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := a.Row(i), a.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Dger computes the rank-1 update A += alpha * x * yᵀ where x has length
+// A.Rows and y has length A.Cols.
+func Dger(alpha float64, x, y []float64, a *matrix.Dense) {
+	if len(x) != a.Rows || len(y) != a.Cols {
+		panic("blas: Dger dimension mismatch")
+	}
+	for i := 0; i < a.Rows; i++ {
+		ax := alpha * x[i]
+		if ax == 0 {
+			continue
+		}
+		row := a.Row(i)
+		for j, yv := range y {
+			row[j] += ax * yv
+		}
+	}
+}

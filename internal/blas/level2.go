@@ -1,0 +1,110 @@
+package blas
+
+import "phihpl/internal/matrix"
+
+// Dgemv computes y = alpha*op(A)*x + beta*y for a row-major matrix A.
+// op(A) is A or Aᵀ according to trans. Lengths must match op(A)'s shape.
+func Dgemv(trans bool, alpha float64, a *matrix.Dense, x []float64, beta float64, y []float64) {
+	m, n := a.Rows, a.Cols
+	if trans {
+		m, n = n, m
+	}
+	if len(x) != n || len(y) != m {
+		panic("blas: Dgemv dimension mismatch")
+	}
+	if beta == 0 {
+		for i := range y {
+			y[i] = 0
+		}
+	} else if beta != 1 {
+		Dscal(beta, y)
+	}
+	if alpha == 0 {
+		return
+	}
+	if !trans {
+		for i := 0; i < m; i++ {
+			y[i] += alpha * Ddot(a.Row(i), x)
+		}
+		return
+	}
+	// y += alpha*Aᵀx: accumulate row-wise to keep A's access contiguous.
+	for i := 0; i < a.Rows; i++ {
+		axi := alpha * x[i]
+		if axi == 0 {
+			continue
+		}
+		Daxpy(axi, a.Row(i), y)
+	}
+}
+
+// Dtrsv solves op(T)·x = b in place over x (x starts holding b), using the
+// triangle selected by uplo/diag. It is the vector form of Dtrsm and is
+// used by the iterative-refinement solver.
+func Dtrsv(uplo Uplo, trans bool, diag Diag, t *matrix.Dense, x []float64) {
+	n := t.Rows
+	if t.Cols != n || len(x) != n {
+		panic("blas: Dtrsv dimension mismatch")
+	}
+	if trans {
+		t = transpose(t)
+		if uplo == Lower {
+			uplo = Upper
+		} else {
+			uplo = Lower
+		}
+	}
+	if uplo == Lower {
+		for i := 0; i < n; i++ {
+			row := t.Row(i)
+			s := x[i]
+			for j := 0; j < i; j++ {
+				s -= row[j] * x[j]
+			}
+			if diag == NonUnit {
+				s /= row[i]
+			}
+			x[i] = s
+		}
+		return
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := t.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		if diag == NonUnit {
+			s /= row[i]
+		}
+		x[i] = s
+	}
+}
+
+// Dgetrs solves op(A)·X = B for nrhs right-hand sides given the packed LU
+// factors and pivots from Dgetrf. B is n×nrhs and is overwritten with X.
+func Dgetrs(trans bool, lu *matrix.Dense, piv []int, b *matrix.Dense) {
+	n := lu.Rows
+	if lu.Cols != n || b.Rows != n || len(piv) != n {
+		panic("blas: Dgetrs dimension mismatch")
+	}
+	if !trans {
+		// Apply P, then L, then U.
+		for k, p := range piv {
+			if p != k {
+				SwapRows(b, k, p)
+			}
+		}
+		Dtrsm(Left, Lower, false, Unit, 1, lu, b)
+		Dtrsm(Left, Upper, false, NonUnit, 1, lu, b)
+		return
+	}
+	// Aᵀ = Uᵀ Lᵀ Pᵀ: solve Uᵀ, then Lᵀ, then apply P⁻¹.
+	Dtrsm(Left, Upper, true, NonUnit, 1, lu, b)
+	Dtrsm(Left, Lower, true, Unit, 1, lu, b)
+	for k := len(piv) - 1; k >= 0; k-- {
+		if piv[k] != k {
+			SwapRows(b, k, piv[k])
+		}
+	}
+}

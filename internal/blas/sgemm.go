@@ -1,0 +1,43 @@
+package blas
+
+// Sgemm computes C = alpha*A*B + beta*C in single precision over flat
+// row-major buffers: A is m×k with leading dimension lda, B is k×n with
+// ldb, C is m×n with ldc. The paper evaluates SGEMM alongside DGEMM in
+// Table II; the single-precision path exists so that the functional layer
+// can validate the SGEMM efficiency model against real numerics.
+func Sgemm(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	if lda < k || ldb < n || ldc < n {
+		panic("blas: Sgemm leading dimension too small")
+	}
+	if len(a) < (m-1)*lda+k || len(b) < (k-1)*ldb+n || len(c) < (m-1)*ldc+n {
+		if m > 0 && k > 0 && n > 0 {
+			panic("blas: Sgemm buffer too small")
+		}
+	}
+	for i := 0; i < m; i++ {
+		ci := c[i*ldc : i*ldc+n]
+		if beta == 0 {
+			for j := range ci {
+				ci[j] = 0
+			}
+		} else if beta != 1 {
+			for j := range ci {
+				ci[j] *= beta
+			}
+		}
+		if alpha == 0 {
+			continue
+		}
+		ai := a[i*lda : i*lda+k]
+		for p := 0; p < k; p++ {
+			aip := alpha * ai[p]
+			if aip == 0 {
+				continue
+			}
+			bp := b[p*ldb : p*ldb+n]
+			for j, bv := range bp {
+				ci[j] += aip * bv
+			}
+		}
+	}
+}

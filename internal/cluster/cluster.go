@@ -1,0 +1,212 @@
+// Package cluster provides the multi-node substrate for distributed
+// Linpack: a real in-process message-passing fabric (ranks as goroutines,
+// typed point-to-point sends, broadcasts, barriers) used by the functional
+// distributed LU driver, and an α-β cost model of the single-rail FDR
+// InfiniBand network used by the virtual-time hybrid HPL simulation.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"phihpl/internal/machine"
+)
+
+// Msg is one message: a tag for protocol sanity checking plus float and
+// int payloads (matrix panels and pivot vectors).
+type Msg struct {
+	Src, Tag int
+	F        []float64
+	I        []int
+}
+
+// World is a communicator for `size` ranks. Channels are buffered so the
+// deterministic Linpack protocols (send-then-compute) cannot deadlock.
+type World struct {
+	size  int
+	chans [][]chan Msg // chans[src][dst]
+	bar   *barrier
+}
+
+// NewWorld builds a world with the given rank count and per-pair buffer.
+func NewWorld(size, buffer int) *World {
+	if size < 1 {
+		panic("cluster: need at least one rank")
+	}
+	if buffer < 1 {
+		buffer = 16
+	}
+	w := &World{size: size, bar: newBarrier(size)}
+	w.chans = make([][]chan Msg, size)
+	for s := 0; s < size; s++ {
+		w.chans[s] = make([]chan Msg, size)
+		for d := 0; d < size; d++ {
+			w.chans[s][d] = make(chan Msg, buffer)
+		}
+	}
+	return w
+}
+
+// Size returns the rank count.
+func (w *World) Size() int { return w.size }
+
+// Run launches fn on every rank concurrently and waits for all to finish.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			fn(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Comm is one rank's endpoint.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this endpoint's rank id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers a message to dst. Payload slices are copied, so the sender
+// may reuse its buffers immediately (MPI semantics).
+func (c *Comm) Send(dst, tag int, f []float64, ints []int) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("cluster: Send to invalid rank %d", dst))
+	}
+	m := Msg{Src: c.rank, Tag: tag}
+	if f != nil {
+		m.F = append([]float64(nil), f...)
+	}
+	if ints != nil {
+		m.I = append([]int(nil), ints...)
+	}
+	c.world.chans[c.rank][dst] <- m
+}
+
+// Recv blocks for the next message from src and verifies its tag — the
+// Linpack protocols are deterministic, so a tag mismatch is a bug, not a
+// reordering to tolerate.
+func (c *Comm) Recv(src, tag int) Msg {
+	m := <-c.world.chans[src][c.rank]
+	if m.Tag != tag {
+		panic(fmt.Sprintf("cluster: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.Tag))
+	}
+	return m
+}
+
+// Bcast distributes root's payload to every rank and returns the received
+// (or original) message. Implemented as a root-sequential fan-out, which
+// is semantically equivalent to a tree broadcast.
+func (c *Comm) Bcast(root, tag int, f []float64, ints []int) Msg {
+	if c.rank == root {
+		for d := 0; d < c.world.size; d++ {
+			if d != root {
+				c.Send(d, tag, f, ints)
+			}
+		}
+		return Msg{Src: root, Tag: tag, F: f, I: ints}
+	}
+	return c.Recv(root, tag)
+}
+
+// Barrier blocks until every rank has arrived.
+func (c *Comm) Barrier() { c.world.bar.await() }
+
+// barrier is a reusable counting barrier.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	size  int
+	count int
+	gen   int
+}
+
+func newBarrier(size int) *barrier {
+	b := &barrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}
+
+// CyclicOwner returns the rank owning global panel p under block-cyclic
+// distribution.
+func CyclicOwner(p, size int) int { return p % size }
+
+// --- Network cost model -----------------------------------------------
+
+// CostModel prices collective operations on the cluster fabric for the
+// virtual-time HPL simulation.
+type CostModel struct {
+	Net machine.Interconnect
+}
+
+// NewCostModel returns the FDR InfiniBand model.
+func NewCostModel() CostModel { return CostModel{Net: machine.FDRInfiniband()} }
+
+// PtToPt returns the time to move `bytes` between two nodes.
+func (m CostModel) PtToPt(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return m.Net.LatencySec + bytes/m.Net.BWBytes
+}
+
+// Bcast returns the time for a long-message broadcast of `bytes` to
+// `members` ranks: HPL's panel and U broadcasts are pipelined
+// (increasing-ring / bandwidth-optimal), so the payload crosses each link
+// once and only the log-depth latency term scales with the member count.
+func (m CostModel) Bcast(bytes float64, members int) float64 {
+	if members <= 1 || bytes <= 0 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(members)))
+	return rounds*m.Net.LatencySec + bytes/m.Net.BWBytes
+}
+
+// SwapExchange returns the network part of HPL's long row swap across
+// `rows` process rows: each node exchanges its share of the swapped rows,
+// (rows-1)/rows of `bytes` crossing the wire, plus a log-depth
+// coordination term.
+func (m CostModel) SwapExchange(bytes float64, rows int) float64 {
+	if rows <= 1 || bytes <= 0 {
+		return 0
+	}
+	frac := float64(rows-1) / float64(rows)
+	rounds := math.Ceil(math.Log2(float64(rows)))
+	return rounds*m.Net.LatencySec + frac*bytes/m.Net.BWBytes
+}
+
+// PivotAllreduce returns the per-column pivot-selection reduction cost for
+// a panel of nb columns factored across `rows` process rows.
+func (m CostModel) PivotAllreduce(nb, rows int) float64 {
+	if rows <= 1 || nb <= 0 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(rows)))
+	// Two log-depth phases (reduce + broadcast) of one cache line per column.
+	return float64(nb) * 2 * rounds * m.Net.LatencySec
+}

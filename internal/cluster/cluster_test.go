@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"phihpl/internal/machine"
+)
+
+func TestSendRecv(t *testing.T) {
+	w := NewWorld(2, 4)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2}, []int{3})
+		} else {
+			m := c.Recv(0, 7)
+			if m.Src != 0 || len(m.F) != 2 || m.F[1] != 2 || m.I[0] != 3 {
+				t.Errorf("bad message: %+v", m)
+			}
+		}
+	})
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w := NewWorld(2, 4)
+	buf := []float64{1}
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, buf, nil)
+			buf[0] = 99 // mutate after send: receiver must not see it
+		} else {
+			m := c.Recv(0, 1)
+			if m.F[0] != 1 {
+				t.Errorf("payload not copied: %v", m.F[0])
+			}
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld(4, 4)
+	var mu sync.Mutex
+	got := map[int]float64{}
+	w.Run(func(c *Comm) {
+		m := c.Bcast(2, 5, []float64{42}, nil)
+		mu.Lock()
+		got[c.Rank()] = m.F[0]
+		mu.Unlock()
+	})
+	for r := 0; r < 4; r++ {
+		if got[r] != 42 {
+			t.Errorf("rank %d got %v", r, got[r])
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	w := NewWorld(8, 4)
+	var mu sync.Mutex
+	phase := map[int]int{}
+	w.Run(func(c *Comm) {
+		mu.Lock()
+		phase[c.Rank()] = 1
+		mu.Unlock()
+		c.Barrier()
+		// After the barrier, every rank must have reached phase 1.
+		mu.Lock()
+		for r := 0; r < 8; r++ {
+			if phase[r] != 1 {
+				t.Errorf("rank %d passed barrier before rank %d arrived", c.Rank(), r)
+			}
+		}
+		mu.Unlock()
+		c.Barrier() // reusable
+	})
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	w := NewWorld(2, 4)
+	done := make(chan bool, 1)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, nil, nil)
+		} else {
+			defer func() {
+				done <- recover() != nil
+			}()
+			c.Recv(0, 2)
+		}
+	})
+	if !<-done {
+		t.Error("expected tag-mismatch panic")
+	}
+}
+
+func TestInvalidRankPanics(t *testing.T) {
+	w := NewWorld(1, 1)
+	w.Run(func(c *Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		c.Send(5, 0, nil, nil)
+	})
+}
+
+func TestNewWorldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewWorld(0, 1)
+}
+
+func TestCyclicOwner(t *testing.T) {
+	if CyclicOwner(0, 3) != 0 || CyclicOwner(4, 3) != 1 || CyclicOwner(5, 3) != 2 {
+		t.Error("cyclic ownership wrong")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	m := NewCostModel()
+	if m.Net.BWBytes != machine.FDRInfiniband().BWBytes {
+		t.Error("default net wrong")
+	}
+	// 6 GB at 6 GB/s ~ 1 s.
+	if d := m.PtToPt(6e9); d < 1.0 || d > 1.001 {
+		t.Errorf("PtToPt = %v", d)
+	}
+	if m.PtToPt(0) != 0 {
+		t.Error("zero bytes free")
+	}
+	// Pipelined broadcast: payload crosses the wire once, latency x3 rounds.
+	if d := m.Bcast(6e9, 8); d < 1.0 || d > 1.001 {
+		t.Errorf("Bcast = %v", d)
+	}
+	if m.Bcast(6e9, 8) >= 2*m.PtToPt(6e9) {
+		t.Error("long-message bcast should not multiply bandwidth cost")
+	}
+	if m.Bcast(100, 1) != 0 {
+		t.Error("single-member bcast free")
+	}
+	// Swap exchange moves (P-1)/P of the bytes.
+	d2 := m.SwapExchange(6e9, 2)
+	d4 := m.SwapExchange(6e9, 4)
+	if !(d4 > d2) {
+		t.Errorf("swap cost should grow with rows: %v %v", d2, d4)
+	}
+	if m.SwapExchange(100, 1) != 0 {
+		t.Error("single-row swap free")
+	}
+	if m.PivotAllreduce(100, 1) != 0 {
+		t.Error("single-row pivoting free")
+	}
+	if m.PivotAllreduce(100, 4) <= m.PivotAllreduce(100, 2) {
+		t.Error("pivot allreduce grows with rows")
+	}
+}
+
+func TestManyRanksStress(t *testing.T) {
+	// Ring-pass under race detector.
+	const n = 16
+	w := NewWorld(n, 2)
+	w.Run(func(c *Comm) {
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() + n - 1) % n
+		c.Send(next, 9, []float64{float64(c.Rank())}, nil)
+		m := c.Recv(prev, 9)
+		if int(m.F[0]) != prev {
+			t.Errorf("rank %d got token %v", c.Rank(), m.F[0])
+		}
+	})
+}

@@ -1,0 +1,213 @@
+// Package hpl implements the hybrid High-Performance-Linpack layer of
+// Section V: a functional distributed LU solver running on the in-process
+// cluster fabric (block-cyclic panels, per-stage panel broadcast, row
+// swapping, forward solve and trailing update on every rank), and a
+// virtual-time simulation of the hybrid host+coprocessor implementation
+// with the paper's three look-ahead schemes, which regenerates Figure 9
+// and Table III.
+package hpl
+
+import (
+	"errors"
+	"fmt"
+
+	"phihpl/internal/blas"
+	"phihpl/internal/cluster"
+	"phihpl/internal/matrix"
+)
+
+// message tags of the distributed protocol.
+const (
+	tagPanel  = 100 // factored panel + pivots, broadcast per stage
+	tagGather = 200 // final panel gather to rank 0
+	tagErr    = 300 // singularity flags
+)
+
+// DistResult is the outcome of a distributed solve.
+type DistResult struct {
+	X        []float64
+	Residual float64
+	Ranks    int
+	Panels   int
+}
+
+// SolveDistributed factors and solves the seeded random system A·x = b on
+// `ranks` in-process nodes with 1D block-cyclic column distribution —
+// HPL's structure with a single process row. Every stage performs a real
+// panel factorization on the owner, a real broadcast of the factored panel
+// and its pivots over the fabric, and real swap/DTRSM/DGEMM updates of
+// each rank's local panels. The factors are bitwise identical to the
+// sequential blocked algorithm; the returned residual is the HPL check.
+func SolveDistributed(n, nb, ranks int, seed uint64) (DistResult, error) {
+	if n < 1 || ranks < 1 {
+		return DistResult{}, errors.New("hpl: n and ranks must be positive")
+	}
+	if nb < 1 || nb > n {
+		nb = clampNB(n)
+	}
+	np := (n + nb - 1) / nb
+
+	world := cluster.NewWorld(ranks, np+4)
+	results := make([]DistResult, ranks)
+	errs := make([]error, ranks)
+
+	world.Run(func(c *Comm) { runRank(c, n, nb, np, seed, results, errs) })
+
+	for _, e := range errs {
+		if e != nil {
+			return results[0], e
+		}
+	}
+	return results[0], nil
+}
+
+// Comm aliases the cluster endpoint for readability.
+type Comm = cluster.Comm
+
+func clampNB(n int) int {
+	nb := 64
+	if nb > n {
+		nb = n
+	}
+	return nb
+}
+
+// runRank is the per-node program.
+func runRank(c *Comm, n, nb, np int, seed uint64, results []DistResult, errs []error) {
+	rank, size := c.Rank(), c.Size()
+
+	// Deterministic generation: every rank derives the same global matrix
+	// and keeps its own panels (a real deployment would scatter; the
+	// fabric still carries every per-stage broadcast below).
+	full, b := matrix.RandomSystem(n, seed)
+	local := make(map[int]*matrix.Dense, np/size+1)
+	for p := 0; p < np; p++ {
+		if cluster.CyclicOwner(p, size) == rank {
+			lo, w := panelSpan(n, nb, p)
+			local[p] = full.View(0, lo, n, w).Clone()
+		}
+	}
+
+	globalPiv := make([]int, n)
+	var firstErr error
+
+	for p := 0; p < np; p++ {
+		lo, w := panelSpan(n, nb, p)
+		owner := cluster.CyclicOwner(p, size)
+
+		var payload []float64
+		var piv []int
+		if rank == owner {
+			panel := local[p].View(lo, 0, n-lo, w)
+			piv = make([]int, w)
+			if err := blas.Dgetf2(panel, piv); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			payload = flatten(panel)
+		}
+		msg := c.Bcast(owner, tagPanel+p, payload, piv)
+		piv = msg.I
+		factored := unflatten(msg.F, n-lo, w)
+
+		for k, pv := range piv {
+			globalPiv[lo+k] = pv + lo
+		}
+
+		// L11 (unit lower, with U11 above) and L21 from the broadcast copy.
+		l11 := factored.View(0, 0, w, w)
+		var l21 *matrix.Dense
+		if n-lo > w {
+			l21 = factored.View(w, 0, n-lo-w, w)
+		}
+
+		for q, panel := range local {
+			if q == p {
+				continue
+			}
+			// Row interchanges of this stage apply to every local panel.
+			blas.Dlaswp(panel, piv, lo)
+			if q < p {
+				continue // already-factored columns: swaps only
+			}
+			// Forward solve the U block row, then the trailing update.
+			u12 := panel.View(lo, 0, w, panel.Cols)
+			blas.Dtrsm(blas.Left, blas.Lower, false, blas.Unit, 1, l11, u12)
+			if l21 != nil {
+				tail := panel.View(lo+w, 0, n-lo-w, panel.Cols)
+				blas.DgemmParallel(false, false, -1, l21, u12, 1, tail, 1)
+			}
+		}
+	}
+
+	// Gather the factored panels on rank 0 and solve there.
+	if rank != 0 {
+		// Ascending panel order: rank 0 receives each rank's FIFO stream
+		// in the order it drains the grid.
+		for p := 0; p < np; p++ {
+			if panel, ok := local[p]; ok {
+				c.Send(0, tagGather+p, flatten(panel), nil)
+			}
+		}
+		c.Send(0, tagErr, nil, []int{boolToInt(firstErr != nil)})
+		return
+	}
+
+	lu := matrix.NewDense(n, n)
+	for p := 0; p < np; p++ {
+		lo, w := panelSpan(n, nb, p)
+		var panel *matrix.Dense
+		if own, ok := local[p]; ok {
+			panel = own
+		} else {
+			msg := c.Recv(cluster.CyclicOwner(p, size), tagGather+p)
+			panel = unflatten(msg.F, n, w)
+		}
+		lu.View(0, lo, n, w).CopyFrom(panel)
+	}
+	for r := 1; r < size; r++ {
+		if msg := c.Recv(r, tagErr); msg.I[0] != 0 && firstErr == nil {
+			firstErr = blas.ErrSingular
+		}
+	}
+
+	x := blas.LUSolve(lu, globalPiv, b)
+	results[0] = DistResult{
+		X:        x,
+		Residual: matrix.Residual(full, x, b),
+		Ranks:    size,
+		Panels:   np,
+	}
+	errs[0] = firstErr
+}
+
+// panelSpan returns panel p's first column and width.
+func panelSpan(n, nb, p int) (lo, w int) {
+	lo = p * nb
+	w = nb
+	if lo+w > n {
+		w = n - lo
+	}
+	return lo, w
+}
+
+func flatten(m *matrix.Dense) []float64 {
+	out := make([]float64, 0, m.Rows*m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		out = append(out, m.Row(i)...)
+	}
+	return out
+}
+
+func unflatten(data []float64, rows, cols int) *matrix.Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("hpl: payload %d != %dx%d", len(data), rows, cols))
+	}
+	return &matrix.Dense{Rows: rows, Cols: cols, Stride: cols, Data: data}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,378 @@
+package hpl
+
+import (
+	"errors"
+	"fmt"
+
+	"phihpl/internal/blas"
+	"phihpl/internal/cluster"
+	"phihpl/internal/matrix"
+)
+
+// SolveDistributed2D factors and solves the seeded random system on a
+// P×Q process grid with 2D block-cyclic distribution — the full HPL
+// structure. Per stage it performs:
+//
+//   - panel factorization of the current block column (gathered to the
+//     diagonal owner, factored, scattered back — a functional
+//     simplification of HPL's in-place distributed panel, preserving
+//     pivot choices exactly);
+//   - a pivot broadcast and *distributed row swapping*: pivot rows living
+//     on different process rows exchange row segments per process column;
+//   - the panel (L) broadcast along process rows;
+//   - the U block-row solve on the pivot process row, then the U
+//     broadcast along process columns;
+//   - the local trailing updates A(I,J) -= L21(I)·U12(J).
+//
+// Factors and pivots are bitwise identical to the sequential blocked
+// algorithm, and the solution passes the HPL residual test.
+func SolveDistributed2D(n, nb, p, q int, seed uint64) (DistResult, error) {
+	if n < 1 || p < 1 || q < 1 {
+		return DistResult{}, errors.New("hpl: n, P and Q must be positive")
+	}
+	if nb < 1 || nb > n {
+		nb = clampNB(n)
+	}
+	nBlocks := (n + nb - 1) / nb
+
+	// Per-pair channel buffers must absorb a stage's worth of eagerly
+	// sent blocks.
+	world := cluster.NewWorld(p*q, nBlocks*nBlocks+16)
+	results := make([]DistResult, p*q)
+	errs := make([]error, p*q)
+	world.Run(func(c *Comm) {
+		g := &grid2d{c: c, P: p, Q: q, n: n, nb: nb, nBlocks: nBlocks}
+		g.p, g.q = c.Rank()/q, c.Rank()%q
+		g.run(seed, results, errs)
+	})
+	for _, e := range errs {
+		if e != nil {
+			return results[0], e
+		}
+	}
+	return results[0], nil
+}
+
+// grid2d is one process of the 2D solver.
+type grid2d struct {
+	c          *Comm
+	p, q       int // my grid coordinates
+	P, Q       int
+	n, nb      int
+	nBlocks    int
+	blocks     map[[2]int]*matrix.Dense // owned global blocks (I,J)
+	globalPiv  []int
+	stageL11   *matrix.Dense         // factored diagonal block of this stage
+	stageL21   map[int]*matrix.Dense // block row I -> L21 block
+	stageU12   map[int]*matrix.Dense // block col J -> U12 block
+	firstError error
+	// offloadUpdates routes trailing updates through the real offload
+	// work-stealing engine (SolveDistributed2DHybrid).
+	offloadUpdates bool
+}
+
+// tag bases; stage-dependent offsets keep each exchange unambiguous.
+const (
+	tag2dGatherBase = 1 << 20
+	tag2dPivBase    = 2 << 20
+	tag2dSwapBase   = 3 << 20
+	tag2dLBase      = 4 << 20
+	tag2dUBase      = 5 << 20
+	tag2dFinal      = 6 << 20
+)
+
+func (g *grid2d) rank(p, q int) int { return p*g.Q + q }
+
+// owner returns the grid coordinates owning global block (I, J).
+func (g *grid2d) owner(i, j int) (int, int) { return i % g.P, j % g.Q }
+
+// blockDims returns the dimensions of global block (I, J).
+func (g *grid2d) blockDims(i, j int) (rows, cols int) {
+	rows, cols = g.nb, g.nb
+	if (i+1)*g.nb > g.n {
+		rows = g.n - i*g.nb
+	}
+	if (j+1)*g.nb > g.n {
+		cols = g.n - j*g.nb
+	}
+	return rows, cols
+}
+
+func (g *grid2d) run(seed uint64, results []DistResult, errs []error) {
+	// Deterministic generation; keep only owned blocks.
+	full, rhs := matrix.RandomSystem(g.n, seed)
+	g.blocks = make(map[[2]int]*matrix.Dense)
+	for i := 0; i < g.nBlocks; i++ {
+		for j := 0; j < g.nBlocks; j++ {
+			if op, oq := g.owner(i, j); op == g.p && oq == g.q {
+				r, c := g.blockDims(i, j)
+				g.blocks[[2]int{i, j}] = full.View(i*g.nb, j*g.nb, r, c).Clone()
+			}
+		}
+	}
+	g.globalPiv = make([]int, g.n)
+	for i := range g.globalPiv {
+		g.globalPiv[i] = i
+	}
+
+	for k := 0; k < g.nBlocks; k++ {
+		piv := g.factorPanel(k)
+		g.swapRows(k, piv)
+		g.broadcastL(k)
+		g.solveAndBroadcastU(k)
+		g.update(k)
+	}
+
+	g.gatherAndSolve(full, rhs, results, errs)
+}
+
+// factorPanel gathers block column k (rows k*nb..n) on the diagonal owner,
+// factors it, scatters the factored segments back, and broadcasts the
+// panel-relative pivots to the whole grid. Returns the pivots.
+func (g *grid2d) factorPanel(k int) []int {
+	rootP, rootQ := g.owner(k, k)
+	root := g.rank(rootP, rootQ)
+	_, w := g.blockDims(k, k)
+	panelRows := g.n - k*g.nb
+
+	inPanelColumn := g.q == rootQ
+	// Send owned segments up to the root (ascending block row).
+	if inPanelColumn && g.rank(g.p, g.q) != root {
+		for i := k; i < g.nBlocks; i++ {
+			if op, _ := g.owner(i, k); op == g.p {
+				g.c.Send(root, tag2dGatherBase+k*g.nBlocks+i, flatten(g.blocks[[2]int{i, k}]), nil)
+			}
+		}
+	}
+
+	var piv []int
+	if g.rank(g.p, g.q) == root {
+		panel := matrix.NewDense(panelRows, w)
+		for i := k; i < g.nBlocks; i++ {
+			r, _ := g.blockDims(i, k)
+			dst := panel.View(i*g.nb-k*g.nb, 0, r, w)
+			if op, _ := g.owner(i, k); op == g.p {
+				dst.CopyFrom(g.blocks[[2]int{i, k}])
+			} else {
+				msg := g.c.Recv(g.rank(op, rootQ), tag2dGatherBase+k*g.nBlocks+i)
+				dst.CopyFrom(unflatten(msg.F, r, w))
+			}
+		}
+		piv = make([]int, w)
+		if err := blas.Dgetf2(panel, piv); err != nil && g.firstError == nil {
+			g.firstError = err
+		}
+		// Scatter factored segments back.
+		for i := k; i < g.nBlocks; i++ {
+			r, _ := g.blockDims(i, k)
+			seg := panel.View(i*g.nb-k*g.nb, 0, r, w)
+			if op, _ := g.owner(i, k); op == g.p {
+				g.blocks[[2]int{i, k}].CopyFrom(seg)
+			} else {
+				g.c.Send(g.rank(op, rootQ), tag2dGatherBase+k*g.nBlocks+i, flatten(seg), nil)
+			}
+		}
+	} else if inPanelColumn {
+		for i := k; i < g.nBlocks; i++ {
+			if op, _ := g.owner(i, k); op == g.p {
+				r, _ := g.blockDims(i, k)
+				msg := g.c.Recv(root, tag2dGatherBase+k*g.nBlocks+i)
+				g.blocks[[2]int{i, k}].CopyFrom(unflatten(msg.F, r, w))
+			}
+		}
+	}
+
+	// Pivot broadcast to the whole grid (root-sequential fan-out).
+	if g.rank(g.p, g.q) == root {
+		for r := 0; r < g.P*g.Q; r++ {
+			if r != root {
+				g.c.Send(r, tag2dPivBase+k, nil, piv)
+			}
+		}
+	} else {
+		piv = g.c.Recv(root, tag2dPivBase+k).I
+	}
+
+	// Record global pivots.
+	for j, pv := range piv {
+		r1 := k*g.nb + j
+		r2 := k*g.nb + pv
+		g.globalPiv[r1] = r2
+	}
+	return piv
+}
+
+// swapRows applies the stage's pivot swaps to every block column except
+// the already-swapped panel column k. Rows on different process rows
+// exchange segments; same-process swaps are local.
+func (g *grid2d) swapRows(k int, piv []int) {
+	for j, pv := range piv {
+		r1 := k*g.nb + j
+		r2 := k*g.nb + pv
+		if r1 == r2 {
+			continue
+		}
+		i1, i2 := r1/g.nb, r2/g.nb
+		p1, p2 := i1%g.P, i2%g.P
+		for jb := 0; jb < g.nBlocks; jb++ {
+			if jb == k {
+				continue // panel column was swapped during factorization
+			}
+			if _, oq := g.owner(0, jb); oq != g.q {
+				continue // not my process column
+			}
+			tag := tag2dSwapBase + (k*g.nb+j)*g.nBlocks + jb
+			switch {
+			case p1 == g.p && p2 == g.p:
+				// Both rows live here.
+				b1 := g.blocks[[2]int{i1, jb}]
+				b2 := g.blocks[[2]int{i2, jb}]
+				l1, l2 := r1%g.nb, r2%g.nb
+				row1, row2 := b1.Row(l1), b2.Row(l2)
+				for x := range row1 {
+					row1[x], row2[x] = row2[x], row1[x]
+				}
+			case p1 == g.p:
+				b := g.blocks[[2]int{i1, jb}]
+				row := b.Row(r1 % g.nb)
+				g.c.Send(g.rank(p2, g.q), tag, row, nil)
+				copy(row, g.c.Recv(g.rank(p2, g.q), tag).F)
+			case p2 == g.p:
+				b := g.blocks[[2]int{i2, jb}]
+				row := b.Row(r2 % g.nb)
+				g.c.Send(g.rank(p1, g.q), tag, row, nil)
+				copy(row, g.c.Recv(g.rank(p1, g.q), tag).F)
+			}
+		}
+	}
+}
+
+// broadcastL sends the factored panel blocks along process rows: the
+// diagonal block (k,k) to row rootP's processes, and each L21 block (I,k)
+// to the processes of row I%P. Receivers stash them for the update.
+func (g *grid2d) broadcastL(k int) {
+	rootP, rootQ := g.owner(k, k)
+	g.stageL11 = nil
+	g.stageL21 = make(map[int]*matrix.Dense)
+
+	for i := k; i < g.nBlocks; i++ {
+		op := i % g.P
+		if op != g.p {
+			continue // this block's row bcast happens on another process row
+		}
+		var blk *matrix.Dense
+		if g.q == rootQ {
+			blk = g.blocks[[2]int{i, k}]
+			for qq := 0; qq < g.Q; qq++ {
+				if qq != g.q {
+					g.c.Send(g.rank(g.p, qq), tag2dLBase+k*g.nBlocks+i, flatten(blk), nil)
+				}
+			}
+		} else {
+			r, c := g.blockDims(i, k)
+			blk = unflatten(g.c.Recv(g.rank(g.p, rootQ), tag2dLBase+k*g.nBlocks+i).F, r, c)
+		}
+		if i == k {
+			if g.p == rootP {
+				g.stageL11 = blk
+			}
+		} else {
+			g.stageL21[i] = blk
+		}
+	}
+}
+
+// solveAndBroadcastU computes U12 on the pivot process row and broadcasts
+// each U block down its process column.
+func (g *grid2d) solveAndBroadcastU(k int) {
+	rootP, _ := g.owner(k, k)
+	g.stageU12 = make(map[int]*matrix.Dense)
+
+	for j := k + 1; j < g.nBlocks; j++ {
+		_, oq := g.owner(k, j)
+		if oq != g.q {
+			continue
+		}
+		var u *matrix.Dense
+		if g.p == rootP {
+			u = g.blocks[[2]int{k, j}]
+			blas.Dtrsm(blas.Left, blas.Lower, false, blas.Unit, 1, g.stageL11, u)
+			for pp := 0; pp < g.P; pp++ {
+				if pp != g.p {
+					g.c.Send(g.rank(pp, g.q), tag2dUBase+k*g.nBlocks+j, flatten(u), nil)
+				}
+			}
+		} else {
+			r, c := g.blockDims(k, j)
+			u = unflatten(g.c.Recv(g.rank(rootP, g.q), tag2dUBase+k*g.nBlocks+j).F, r, c)
+		}
+		g.stageU12[j] = u
+	}
+}
+
+// update applies A(I,J) -= L21(I)·U12(J) to every owned trailing block.
+func (g *grid2d) update(k int) {
+	for ij, blk := range g.blocks {
+		i, j := ij[0], ij[1]
+		if i <= k || j <= k {
+			continue
+		}
+		l := g.stageL21[i]
+		u := g.stageU12[j]
+		if l == nil || u == nil {
+			panic(fmt.Sprintf("hpl: rank (%d,%d) missing stage-%d operands for block (%d,%d)",
+				g.p, g.q, k, i, j))
+		}
+		if g.offloadUpdates {
+			offloadUpdate(l, u, blk)
+		} else {
+			blas.Dgemm(false, false, -1, l, u, 1, blk)
+		}
+	}
+}
+
+// gatherAndSolve assembles the factored matrix on rank 0, solves, and
+// checks the residual.
+func (g *grid2d) gatherAndSolve(full *matrix.Dense, rhs []float64, results []DistResult, errs []error) {
+	me := g.rank(g.p, g.q)
+	if me != 0 {
+		for i := 0; i < g.nBlocks; i++ {
+			for j := 0; j < g.nBlocks; j++ {
+				if blk, ok := g.blocks[[2]int{i, j}]; ok {
+					g.c.Send(0, tag2dFinal+i*g.nBlocks+j, flatten(blk), nil)
+				}
+			}
+		}
+		g.c.Send(0, tag2dFinal-1, nil, []int{boolToInt(g.firstError != nil)})
+		return
+	}
+
+	lu := matrix.NewDense(g.n, g.n)
+	for i := 0; i < g.nBlocks; i++ {
+		for j := 0; j < g.nBlocks; j++ {
+			r, c := g.blockDims(i, j)
+			dst := lu.View(i*g.nb, j*g.nb, r, c)
+			if op, oq := g.owner(i, j); op == 0 && oq == 0 {
+				dst.CopyFrom(g.blocks[[2]int{i, j}])
+			} else {
+				msg := g.c.Recv(g.rank(op, oq), tag2dFinal+i*g.nBlocks+j)
+				dst.CopyFrom(unflatten(msg.F, r, c))
+			}
+		}
+	}
+	firstErr := g.firstError
+	for r := 1; r < g.P*g.Q; r++ {
+		if msg := g.c.Recv(r, tag2dFinal-1); msg.I[0] != 0 && firstErr == nil {
+			firstErr = blas.ErrSingular
+		}
+	}
+
+	x := blas.LUSolve(lu, g.globalPiv, rhs)
+	results[0] = DistResult{
+		X:        x,
+		Residual: matrix.Residual(full, x, rhs),
+		Ranks:    g.P * g.Q,
+		Panels:   g.nBlocks,
+	}
+	errs[0] = firstErr
+}

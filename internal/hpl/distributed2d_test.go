@@ -1,0 +1,135 @@
+package hpl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phihpl/internal/blas"
+	"phihpl/internal/matrix"
+)
+
+func TestSolveDistributed2DResidual(t *testing.T) {
+	for _, tc := range []struct{ n, nb, p, q int }{
+		{48, 8, 1, 1},
+		{48, 8, 2, 2},
+		{64, 8, 2, 3},
+		{64, 8, 3, 2},
+		{60, 16, 1, 4},
+		{60, 16, 4, 1},
+		{75, 10, 2, 2}, // ragged final blocks
+	} {
+		r, err := SolveDistributed2D(tc.n, tc.nb, tc.p, tc.q, 99)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if r.Residual > matrix.ResidualThreshold {
+			t.Errorf("%+v: residual %g FAILED", tc, r.Residual)
+		}
+		if r.Ranks != tc.p*tc.q {
+			t.Errorf("%+v: ranks = %d", tc, r.Ranks)
+		}
+	}
+}
+
+func TestSolveDistributed2DMatchesSequential(t *testing.T) {
+	n, nb := 72, 12
+	a, b := matrix.RandomSystem(n, 17)
+	lu := a.Clone()
+	piv := make([]int, n)
+	if err := blas.Dgetrf(lu, piv, nb); err != nil {
+		t.Fatal(err)
+	}
+	want := blas.LUSolve(lu, piv, b)
+
+	for _, grid := range [][2]int{{1, 1}, {2, 2}, {3, 2}, {2, 3}} {
+		r, err := SolveDistributed2D(n, nb, grid[0], grid[1], 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if r.X[i] != want[i] {
+				t.Fatalf("grid %v: x[%d] = %v, want %v (bitwise)", grid, i, r.X[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveDistributed2DGridInvariance(t *testing.T) {
+	// Same answer regardless of grid shape.
+	base, err := SolveDistributed2D(60, 10, 1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, grid := range [][2]int{{2, 1}, {1, 2}, {2, 2}, {3, 3}} {
+		r, err := SolveDistributed2D(60, 10, grid[0], grid[1], 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range base.X {
+			if r.X[i] != base.X[i] {
+				t.Fatalf("grid %v: solution differs at %d", grid, i)
+			}
+		}
+	}
+}
+
+func TestSolveDistributed2DErrors(t *testing.T) {
+	if _, err := SolveDistributed2D(0, 4, 2, 2, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := SolveDistributed2D(10, 4, 0, 2, 1); err == nil {
+		t.Error("P=0 should error")
+	}
+	// nb=0 clamps.
+	if _, err := SolveDistributed2D(16, 0, 2, 2, 1); err != nil {
+		t.Errorf("nb=0 should clamp: %v", err)
+	}
+}
+
+func TestSolveDistributed2DProperty(t *testing.T) {
+	f := func(seed uint64, nR, pR, qR uint8) bool {
+		n := 20 + int(nR)%40
+		p := 1 + int(pR)%3
+		q := 1 + int(qR)%3
+		r, err := SolveDistributed2D(n, 8, p, q, seed)
+		if err != nil {
+			return true
+		}
+		return r.Residual < matrix.ResidualThreshold
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveDistributed2DHybrid(t *testing.T) {
+	// The offload-engine-backed updates must still pass the residual test
+	// and agree with the plain driver to round-off.
+	n, nb := 96, 16
+	plain, err := SolveDistributed2D(n, nb, 2, 2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hy, err := SolveDistributed2DHybrid(n, nb, 2, 2, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hy.Residual > matrix.ResidualThreshold {
+		t.Errorf("hybrid residual %g FAILED", hy.Residual)
+	}
+	for i := range plain.X {
+		d := plain.X[i] - hy.X[i]
+		if d > 1e-6 || d < -1e-6 {
+			t.Fatalf("solutions diverge at %d: %v vs %v", i, plain.X[i], hy.X[i])
+		}
+	}
+}
+
+func TestSolveDistributed2DHybridErrors(t *testing.T) {
+	if _, err := SolveDistributed2DHybrid(0, 4, 1, 1, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := SolveDistributed2DHybrid(32, 0, 2, 1, 1); err != nil {
+		t.Errorf("nb clamp: %v", err)
+	}
+}

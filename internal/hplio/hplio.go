@@ -1,0 +1,226 @@
+// Package hplio reads HPL.dat-style input files and writes HPL.out-style
+// reports, so the repository's drivers speak the same dialect as the
+// reference High Performance Linpack distribution the paper builds on.
+//
+// The parser understands the subset of HPL.dat that controls the
+// experiments this repository can run: the lists of problem sizes, block
+// sizes and process grids, plus a free-form look-ahead (DEPTH) line that
+// selects the paper's none/basic/pipelined schemes. Like the original, the
+// file is line-oriented with the value(s) first and a trailing comment,
+// and runs the cross-product of all parameter lists.
+package hplio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Params is the parsed parameter space of one HPL.dat file.
+type Params struct {
+	Ns     []int // problem sizes
+	NBs    []int // block sizes
+	Ps, Qs []int // process grids (paired index-wise, as in HPL)
+	Depths []int // look-ahead depth: 0=none, 1=basic, 2=pipelined
+}
+
+// Combination is one run of the cross-product.
+type Combination struct {
+	N, NB, P, Q, Depth int
+}
+
+// Combinations expands the parameter space in HPL's order: grids outermost,
+// then N, then NB, then depth.
+func (p *Params) Combinations() []Combination {
+	var out []Combination
+	for gi := range p.Ps {
+		for _, n := range p.Ns {
+			for _, nb := range p.NBs {
+				depths := p.Depths
+				if len(depths) == 0 {
+					depths = []int{1}
+				}
+				for _, d := range depths {
+					out = append(out, Combination{N: n, NB: nb, P: p.Ps[gi], Q: p.Qs[gi], Depth: d})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Parse reads an HPL.dat-style stream. Unknown lines are ignored (the real
+// file has many tuning knobs this repository does not model).
+func Parse(r io.Reader) (*Params, error) {
+	p := &Params{}
+	sc := bufio.NewScanner(r)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	var counts struct{ ns, nbs, ps, qs, depths int }
+	for i, line := range lines {
+		lower := strings.ToLower(line)
+		switch {
+		case strings.Contains(lower, "# of problems sizes"), strings.Contains(lower, "number of problems"):
+			counts.ns = firstInt(line)
+		case strings.Contains(lower, "ns"):
+			if counts.ns > 0 && len(p.Ns) == 0 {
+				p.Ns = leadingInts(line, counts.ns)
+			}
+		case strings.Contains(lower, "# of nbs"):
+			counts.nbs = firstInt(line)
+		case strings.Contains(lower, "nbs"):
+			if counts.nbs > 0 && len(p.NBs) == 0 {
+				p.NBs = leadingInts(line, counts.nbs)
+			}
+		case strings.Contains(lower, "# of process grids"):
+			counts.ps = firstInt(line)
+			counts.qs = counts.ps
+		case strings.Contains(lower, "ps"):
+			if counts.ps > 0 && len(p.Ps) == 0 {
+				p.Ps = leadingInts(line, counts.ps)
+			}
+		case strings.Contains(lower, "qs"):
+			if counts.qs > 0 && len(p.Qs) == 0 {
+				p.Qs = leadingInts(line, counts.qs)
+			}
+		case strings.Contains(lower, "# of lookahead depth"):
+			counts.depths = firstInt(line)
+		case strings.Contains(lower, "depths"):
+			if counts.depths > 0 && len(p.Depths) == 0 {
+				p.Depths = leadingInts(line, counts.depths)
+			}
+		}
+		_ = i
+	}
+	if len(p.Ns) == 0 || len(p.NBs) == 0 {
+		return nil, fmt.Errorf("hplio: no problem or block sizes found")
+	}
+	if len(p.Ps) == 0 {
+		p.Ps, p.Qs = []int{1}, []int{1}
+	}
+	if len(p.Qs) != len(p.Ps) {
+		return nil, fmt.Errorf("hplio: %d Ps but %d Qs", len(p.Ps), len(p.Qs))
+	}
+	for _, d := range p.Depths {
+		if d < 0 || d > 2 {
+			return nil, fmt.Errorf("hplio: look-ahead depth %d out of range [0,2]", d)
+		}
+	}
+	return p, nil
+}
+
+// firstInt extracts the first integer token of a line (the value field).
+func firstInt(line string) int {
+	for _, f := range strings.Fields(line) {
+		if v, err := strconv.Atoi(f); err == nil {
+			return v
+		}
+	}
+	return 0
+}
+
+// leadingInts extracts up to n integer tokens from the front of a line.
+func leadingInts(line string, n int) []int {
+	var out []int
+	for _, f := range strings.Fields(line) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			break
+		}
+		out = append(out, v)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// Example returns a ready-to-parse HPL.dat covering the paper's
+// single-node configurations.
+func Example() string {
+	return `HPLinpack benchmark input file (phihpl subset)
+2            # of problems sizes (N)
+84000 166800 Ns
+1            # of NBs
+1200         NBs
+2            # of process grids (P x Q)
+1 2          Ps
+1 2          Qs
+2            # of lookahead depth
+1 2          DEPTHs
+`
+}
+
+// Result is one completed run for the report writer.
+type Result struct {
+	Combination
+	Seconds  float64
+	GFLOPS   float64
+	Residual float64 // negative when not measured (virtual-time runs)
+	Passed   bool
+}
+
+// WriteReport renders results in the HPL.out layout.
+func WriteReport(w io.Writer, results []Result) {
+	fmt.Fprintf(w, "%-14s %9s %5s %5s %5s %12s %14s\n",
+		"T/V", "N", "NB", "P", "Q", "Time", "Gflops")
+	fmt.Fprintln(w, strings.Repeat("-", 72))
+	for _, r := range results {
+		fmt.Fprintf(w, "WR%-2d%-10s %9d %5d %5d %5d %12.2f %14.4e\n",
+			r.Depth, "C2C4", r.N, r.NB, r.P, r.Q, r.Seconds, r.GFLOPS)
+	}
+	for _, r := range results {
+		if r.Residual >= 0 {
+			status := "PASSED"
+			if !r.Passed {
+				status = "FAILED"
+			}
+			fmt.Fprintf(w, "||Ax-b||_oo/(eps*(||A||_oo*||x||_oo+||b||_oo)*N)= %10.7f ...... %s\n",
+				r.Residual, status)
+		}
+	}
+	passed, failed := 0, 0
+	for _, r := range results {
+		if r.Residual < 0 {
+			continue
+		}
+		if r.Passed {
+			passed++
+		} else {
+			failed++
+		}
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 72))
+	fmt.Fprintf(w, "Finished %6d tests with the following results:\n", len(results))
+	fmt.Fprintf(w, "         %6d tests completed and passed residual checks,\n", passed)
+	fmt.Fprintf(w, "         %6d tests completed and failed residual checks,\n", failed)
+	fmt.Fprintf(w, "         %6d tests skipped because of illegal input values.\n", 0)
+}
+
+// SortResults orders results the way HPL prints them (by grid, N, NB, depth).
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		if a.Q != b.Q {
+			return a.Q < b.Q
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		if a.NB != b.NB {
+			return a.NB < b.NB
+		}
+		return a.Depth < b.Depth
+	})
+}

@@ -1,0 +1,112 @@
+package lu
+
+import (
+	"runtime"
+	"sync"
+
+	"phihpl/internal/dag"
+	"phihpl/internal/matrix"
+)
+
+// Dynamic factors a in place using the DAG-based dynamic scheduler of
+// Section IV: opts.Workers goroutines play the role of the paper's thread
+// groups, each one's "master" claiming tasks from the shared compact DAG
+// and executing them to completion. There are no global barriers; panel
+// factorizations are issued with look-ahead priority the moment their
+// dependencies resolve.
+//
+// The factors and pivots are bitwise identical to Sequential and
+// StaticLookahead.
+func Dynamic(a *matrix.Dense, piv []int, opts Options) error {
+	opts = opts.withDefaults(a.Cols)
+	st := newState(a, opts)
+	sched := dag.New(st.np)
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for g := 0; g < opts.Workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				task, ok := sched.Next()
+				if !ok {
+					if sched.Done() {
+						return
+					}
+					// Another group's task will unblock us; yield.
+					runtime.Gosched()
+					continue
+				}
+				switch task.Kind {
+				case dag.PanelFact:
+					if err := st.factorPanel(task.Panel); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+					}
+				case dag.Update:
+					st.updatePanel(task.Stage, task.Panel, 1)
+				}
+				sched.Complete(task)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st.finishLeftSwaps()
+	st.globalPivots(piv)
+	return firstErr
+}
+
+// DynamicStats factors like Dynamic and additionally returns the scheduler
+// statistics (critical-section entries, tasks issued), which back the
+// contention ablation in the benchmarks.
+func DynamicStats(a *matrix.Dense, piv []int, opts Options) (dag.Stats, error) {
+	opts = opts.withDefaults(a.Cols)
+	st := newState(a, opts)
+	sched := dag.New(st.np)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for g := 0; g < opts.Workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				task, ok := sched.Next()
+				if !ok {
+					if sched.Done() {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				switch task.Kind {
+				case dag.PanelFact:
+					if err := st.factorPanel(task.Panel); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+					}
+				case dag.Update:
+					st.updatePanel(task.Stage, task.Panel, 1)
+				}
+				sched.Complete(task)
+			}
+		}()
+	}
+	wg.Wait()
+	st.finishLeftSwaps()
+	st.globalPivots(piv)
+	return sched.Stats(), firstErr
+}

@@ -1,0 +1,181 @@
+// Package lu implements the native Linpack factorization drivers of
+// Section IV with real numerics: a sequential blocked reference, the
+// static look-ahead scheme (global barrier per stage, the paper's
+// baseline), and the DAG-based dynamic scheduler (the paper's
+// contribution) running on goroutine thread groups.
+//
+// All three drivers produce bitwise-identical factors and pivots: they
+// reorder only independent work (updates to disjoint column panels), and
+// every elementary operation is performed in the same order within each
+// panel. The tests assert this, which is the strongest possible statement
+// that dynamic scheduling changes the schedule, not the mathematics.
+//
+// Timing of these schedules on the simulated Knights Corner is the job of
+// internal/simlu; this package is about correctness and real concurrency.
+package lu
+
+import (
+	"fmt"
+
+	"phihpl/internal/blas"
+	"phihpl/internal/matrix"
+)
+
+// Options configure a factorization driver.
+type Options struct {
+	// NB is the panel width (block size). Values around 240–360 mirror
+	// the paper's Knights Corner blocking; small matrices clamp it.
+	NB int
+	// Workers is the number of concurrent thread groups (goroutines)
+	// executing tasks.
+	Workers int
+	// RecursivePanel selects the recursively blocked panel factorization
+	// (Toledo-style) over the unblocked kernel. Both produce bitwise
+	// identical factors; the recursive one turns most panel flops into
+	// DGEMM, which is what made the paper's panels fast.
+	RecursivePanel bool
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults(n int) Options {
+	if o.NB < 1 {
+		o.NB = 64
+	}
+	if o.NB > n {
+		o.NB = n
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// panels returns the number of NB-wide column panels of an n-column matrix.
+func panels(n, nb int) int { return (n + nb - 1) / nb }
+
+// panelCols returns the column range [lo, hi) of panel p.
+func panelCols(n, nb, p int) (lo, hi int) {
+	lo = p * nb
+	hi = lo + nb
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Sequential factors a in place with partial pivoting using the blocked
+// reference algorithm. piv must have length n.
+func Sequential(a *matrix.Dense, piv []int, opts Options) error {
+	opts = opts.withDefaults(a.Cols)
+	return blas.Dgetrf(a, piv, opts.NB)
+}
+
+// state carries the shared factorization context of the concurrent drivers.
+type state struct {
+	a         *matrix.Dense
+	n         int
+	nb        int
+	np        int
+	piv       [][]int // per-stage local pivots (panel-relative)
+	recursive bool
+}
+
+func newState(a *matrix.Dense, opts Options) *state {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("lu: matrix must be square, got %dx%d", a.Rows, a.Cols))
+	}
+	n := a.Cols
+	st := &state{a: a, n: n, nb: opts.NB, np: panels(n, opts.NB), recursive: opts.RecursivePanel}
+	st.piv = make([][]int, st.np)
+	return st
+}
+
+// factorPanel runs Task1 for panel p: factor the panel in place. It writes
+// only panel p's columns, so it is safe to run concurrently with updates
+// of other panels.
+//
+// The row swaps this stage owes to the already-factored columns on its
+// left are deferred to finishLeftSwaps: applying them here would permute
+// the L blocks that concurrent look-ahead updates of *earlier* stages are
+// still reading (their target panels have only absorbed swaps up to their
+// own stage). Deferring keeps every L block frozen in exactly the
+// permutation state its consumers expect — the same reason HPL applies
+// swaps to the L panel copy it broadcasts rather than in place.
+func (st *state) factorPanel(p int) error {
+	lo, hi := panelCols(st.n, st.nb, p)
+	w := hi - lo
+	panel := st.a.View(lo, lo, st.n-lo, w)
+	local := make([]int, w)
+	var err error
+	if st.recursive {
+		err = blas.Dgetf2Recursive(panel, local)
+	} else {
+		err = blas.Dgetf2(panel, local)
+	}
+	st.piv[p] = local
+	return err
+}
+
+// finishLeftSwaps applies, stage by stage, each stage's row interchanges
+// to the factored columns left of it. Row swaps on disjoint column ranges
+// commute with everything that ran during factorization, so the final
+// matrix is bitwise identical to the sequential algorithm's. Must be
+// called after all tasks complete and before solving.
+func (st *state) finishLeftSwaps() {
+	for s := 1; s < st.np; s++ {
+		lo, _ := panelCols(st.n, st.nb, s)
+		left := st.a.View(0, 0, st.n, lo)
+		blas.Dlaswp(left, st.piv[s], lo)
+	}
+}
+
+// updatePanel runs Task2(s, p): pivot, forward-solve and trailing-update
+// panel p with the factors of stage s. workers parallelizes the DGEMM.
+func (st *state) updatePanel(s, p, workers int) {
+	sLo, sHi := panelCols(st.n, st.nb, s)
+	sw := sHi - sLo
+	pLo, pHi := panelCols(st.n, st.nb, p)
+	pw := pHi - pLo
+
+	target := st.a.View(0, pLo, st.n, pw)
+	// DLASWP: apply stage-s interchanges to the panel's columns.
+	blas.Dlaswp(target, st.piv[s], sLo)
+	// DTRSM: U block row of this panel.
+	l11 := st.a.View(sLo, sLo, sw, sw)
+	u12 := st.a.View(sLo, pLo, sw, pw)
+	blas.Dtrsm(blas.Left, blas.Lower, false, blas.Unit, 1, l11, u12)
+	// DGEMM: trailing block of this panel.
+	if sHi < st.n {
+		l21 := st.a.View(sHi, sLo, st.n-sHi, sw)
+		tail := st.a.View(sHi, pLo, st.n-sHi, pw)
+		blas.DgemmParallel(false, false, -1, l21, u12, 1, tail, workers)
+	}
+}
+
+// globalPivots flattens the per-stage local pivots into the absolute-row
+// convention of blas.Dgetrf/LUSolve.
+func (st *state) globalPivots(piv []int) {
+	if len(piv) != st.n {
+		panic("lu: pivot slice must have length n")
+	}
+	for p := 0; p < st.np; p++ {
+		lo, _ := panelCols(st.n, st.nb, p)
+		for k, lp := range st.piv[p] {
+			piv[lo+k] = lp + lo
+		}
+	}
+}
+
+// Solve factors a copy of A and solves A·x = b, returning the solution and
+// the scaled HPL residual. driver is one of Sequential, StaticLookahead or
+// Dynamic.
+func Solve(a *matrix.Dense, b []float64, opts Options,
+	driver func(*matrix.Dense, []int, Options) error) (x []float64, residual float64, err error) {
+	lu := a.Clone()
+	piv := make([]int, a.Rows)
+	if err := driver(lu, piv, opts); err != nil {
+		return nil, 0, err
+	}
+	x = blas.LUSolve(lu, piv, b)
+	return x, matrix.Residual(a, x, b), nil
+}

@@ -1,0 +1,199 @@
+package lu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"phihpl/internal/blas"
+	"phihpl/internal/matrix"
+)
+
+type driver struct {
+	name string
+	f    func(*matrix.Dense, []int, Options) error
+}
+
+var drivers = []driver{
+	{"sequential", Sequential},
+	{"static", StaticLookahead},
+	{"dynamic", Dynamic},
+}
+
+func TestDriversBitwiseIdentical(t *testing.T) {
+	// The paper's claim in miniature: dynamic scheduling reorders only
+	// independent work, so factors and pivots are *identical* — not just
+	// numerically close — across drivers.
+	for _, n := range []int{16, 48, 100, 129} {
+		ref := matrix.RandomGeneral(n, n, uint64(n))
+		want := ref.Clone()
+		wantPiv := make([]int, n)
+		if err := blas.Dgetrf(want, wantPiv, 32); err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range drivers {
+			for _, workers := range []int{1, 4} {
+				got := ref.Clone()
+				piv := make([]int, n)
+				if err := d.f(got, piv, Options{NB: 32, Workers: workers}); err != nil {
+					t.Fatalf("%s n=%d: %v", d.name, n, err)
+				}
+				if !matrix.Equal(got, want) {
+					t.Errorf("%s n=%d w=%d: factors differ (maxdiff %g)",
+						d.name, n, workers, matrix.MaxDiff(got, want))
+				}
+				for i := range piv {
+					if piv[i] != wantPiv[i] {
+						t.Errorf("%s n=%d w=%d: pivot[%d] = %d, want %d",
+							d.name, n, workers, i, piv[i], wantPiv[i])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSolveResidualAllDrivers(t *testing.T) {
+	for _, d := range drivers {
+		for _, n := range []int{10, 64, 150} {
+			a, b := matrix.RandomSystem(n, uint64(n)+7)
+			x, res, err := Solve(a, b, Options{NB: 24, Workers: 3}, d.f)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", d.name, n, err)
+			}
+			if len(x) != n {
+				t.Fatalf("%s: bad solution length", d.name)
+			}
+			if res > matrix.ResidualThreshold {
+				t.Errorf("%s n=%d: residual %g FAILED (threshold %g)",
+					d.name, n, res, matrix.ResidualThreshold)
+			}
+		}
+	}
+}
+
+func TestNBClampAndDefaults(t *testing.T) {
+	// NB larger than n, zero workers: must still work.
+	n := 20
+	a, b := matrix.RandomSystem(n, 3)
+	for _, d := range drivers {
+		_, res, err := Solve(a, b, Options{NB: 999, Workers: 0}, d.f)
+		if err != nil {
+			t.Fatalf("%s: %v", d.name, err)
+		}
+		if res > matrix.ResidualThreshold {
+			t.Errorf("%s: residual %g", d.name, res)
+		}
+	}
+	// Zero NB takes the default.
+	o := Options{}.withDefaults(1000)
+	if o.NB != 64 || o.Workers != 1 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestSingularMatrixReported(t *testing.T) {
+	for _, d := range drivers {
+		a := matrix.NewDense(12, 12) // identically zero
+		piv := make([]int, 12)
+		if err := d.f(a, piv, Options{NB: 4, Workers: 2}); err == nil {
+			t.Errorf("%s: expected singularity error", d.name)
+		}
+	}
+}
+
+func TestNonSquarePanics(t *testing.T) {
+	for _, d := range drivers[1:] { // static and dynamic use newState
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic for non-square", d.name)
+				}
+			}()
+			d.f(matrix.NewDense(3, 4), make([]int, 3), Options{NB: 2})
+		}()
+	}
+}
+
+func TestDynamicStats(t *testing.T) {
+	n := 60
+	a := matrix.RandomGeneral(n, n, 11)
+	piv := make([]int, n)
+	stats, err := DynamicStats(a, piv, Options{NB: 10, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np := (n + 9) / 10
+	wantTasks := int64(np + np*(np-1)/2)
+	if stats.TasksComplete != wantTasks {
+		t.Errorf("tasks = %d, want %d", stats.TasksComplete, wantTasks)
+	}
+	if stats.NextCalls < wantTasks {
+		t.Errorf("NextCalls = %d < tasks", stats.NextCalls)
+	}
+	// The result must still be correct.
+	want := matrix.RandomGeneral(n, n, 11)
+	wantPiv := make([]int, n)
+	if err := blas.Dgetrf(want, wantPiv, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(a, want) {
+		t.Error("DynamicStats factors differ from reference")
+	}
+}
+
+func TestPanelHelpers(t *testing.T) {
+	if panels(100, 30) != 4 {
+		t.Error("panels")
+	}
+	lo, hi := panelCols(100, 30, 3)
+	if lo != 90 || hi != 100 {
+		t.Errorf("last panel = [%d,%d)", lo, hi)
+	}
+}
+
+func TestGlobalPivotsLengthPanic(t *testing.T) {
+	a := matrix.RandomGeneral(8, 8, 1)
+	st := newState(a, Options{NB: 4, Workers: 1}.withDefaults(8))
+	st.piv[0] = []int{0, 1, 2, 3}
+	st.piv[1] = []int{0, 1, 2, 3}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	st.globalPivots(make([]int, 7))
+}
+
+// Property: for random sizes/blockings/seeds, dynamic == sequential
+// bitwise and solves pass the residual check.
+func TestDynamicEquivalenceProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, nbRaw, wRaw uint8) bool {
+		n := 8 + int(nRaw)%60
+		nb := 2 + int(nbRaw)%16
+		w := 1 + int(wRaw)%6
+		a := matrix.RandomGeneral(n, n, seed)
+		d := a.Clone()
+		dp := make([]int, n)
+		if err := Dynamic(d, dp, Options{NB: nb, Workers: w}); err != nil {
+			return true // singular: skip
+		}
+		s := a.Clone()
+		sp := make([]int, n)
+		if err := blas.Dgetrf(s, sp, nb); err != nil {
+			return true
+		}
+		if !matrix.Equal(d, s) {
+			return false
+		}
+		for i := range dp {
+			if dp[i] != sp[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

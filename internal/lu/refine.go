@@ -1,0 +1,52 @@
+package lu
+
+import (
+	"phihpl/internal/blas"
+	"phihpl/internal/matrix"
+)
+
+// SolveRefined factors a copy of A with the given driver and solves
+// A·x = b, then applies up to `steps` rounds of classical iterative
+// refinement: r = b − A·x̂, A·δ = r, x̂ += δ. Refinement stops early when
+// the residual norm no longer improves. It returns the refined solution
+// and its scaled HPL residual.
+//
+// HPL itself solves once; refinement is the standard LAPACK-style
+// extension for ill-conditioned systems and is exercised by the tests on
+// graded matrices.
+func SolveRefined(a *matrix.Dense, b []float64, opts Options,
+	driver func(*matrix.Dense, []int, Options) error, steps int) (x []float64, residual float64, err error) {
+	lu := a.Clone()
+	piv := make([]int, a.Rows)
+	if err := driver(lu, piv, opts); err != nil {
+		return nil, 0, err
+	}
+	x = blas.LUSolve(lu, piv, b)
+
+	bestNorm := residNorm(a, x, b)
+	for s := 0; s < steps; s++ {
+		r := residVec(a, x, b)
+		delta := blas.LUSolve(lu, piv, r)
+		cand := make([]float64, len(x))
+		copy(cand, x)
+		blas.Daxpy(1, delta, cand)
+		if n := residNorm(a, cand, b); n < bestNorm {
+			x, bestNorm = cand, n
+		} else {
+			break
+		}
+	}
+	return x, matrix.Residual(a, x, b), nil
+}
+
+// residVec returns b − A·x.
+func residVec(a *matrix.Dense, x, b []float64) []float64 {
+	r := make([]float64, len(b))
+	copy(r, b)
+	blas.Dgemv(false, -1, a, x, 1, r)
+	return r
+}
+
+func residNorm(a *matrix.Dense, x, b []float64) float64 {
+	return matrix.VecNormInf(residVec(a, x, b))
+}

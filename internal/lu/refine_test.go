@@ -1,0 +1,114 @@
+package lu
+
+import (
+	"math"
+	"testing"
+
+	"phihpl/internal/matrix"
+)
+
+// gradedSystem builds an increasingly ill-conditioned system by scaling
+// row i of a random matrix by decade^(i/n), so refinement has something
+// to recover.
+func gradedSystem(n int, decades float64, seed uint64) (*matrix.Dense, []float64) {
+	a, b := matrix.RandomSystem(n, seed)
+	for i := 0; i < n; i++ {
+		s := math.Pow(10, -decades*float64(i)/float64(n))
+		row := a.Row(i)
+		for j := range row {
+			row[j] *= s
+		}
+		b[i] *= s
+	}
+	return a, b
+}
+
+func TestSolveRefinedWellConditioned(t *testing.T) {
+	a, b := matrix.RandomSystem(80, 3)
+	x, res, err := SolveRefined(a, b, Options{NB: 16, Workers: 2}, Dynamic, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 80 || res > matrix.ResidualThreshold {
+		t.Errorf("res = %g", res)
+	}
+}
+
+func TestSolveRefinedImprovesGradedSystem(t *testing.T) {
+	a, b := gradedSystem(100, 8, 11)
+	x0, res0, err := Solve(a, b, Options{NB: 20, Workers: 2}, Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xr, resR, err := SolveRefined(a, b, Options{NB: 20, Workers: 2}, Sequential, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refinement never worsens the true residual norm, and typically
+	// improves it on a graded system.
+	n0 := residNorm(a, x0, b)
+	nr := residNorm(a, xr, b)
+	if nr > n0*(1+1e-12) {
+		t.Errorf("refinement worsened residual: %g -> %g", n0, nr)
+	}
+	if resR > res0*(1+1e-12) {
+		t.Errorf("scaled residual worsened: %g -> %g", res0, resR)
+	}
+}
+
+func TestSolveRefinedZeroStepsEqualsPlainSolve(t *testing.T) {
+	a, b := matrix.RandomSystem(40, 7)
+	x0, _, _ := Solve(a, b, Options{NB: 8}, Sequential)
+	xr, _, err := SolveRefined(a, b, Options{NB: 8}, Sequential, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x0 {
+		if x0[i] != xr[i] {
+			t.Fatal("zero-step refinement must equal the plain solve")
+		}
+	}
+}
+
+func TestSolveRefinedSingular(t *testing.T) {
+	a := matrix.NewDense(10, 10)
+	if _, _, err := SolveRefined(a, make([]float64, 10), Options{NB: 4}, Sequential, 2); err == nil {
+		t.Error("expected singularity error")
+	}
+}
+
+func TestRecursivePanelOption(t *testing.T) {
+	// Dynamic with recursive panels is bitwise identical to plain dynamic.
+	n := 120
+	a := matrix.RandomGeneral(n, n, 13)
+	plain := a.Clone()
+	p1 := make([]int, n)
+	if err := Dynamic(plain, p1, Options{NB: 24, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	rec := a.Clone()
+	p2 := make([]int, n)
+	if err := Dynamic(rec, p2, Options{NB: 24, Workers: 4, RecursivePanel: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(plain, rec) {
+		t.Errorf("recursive-panel factors differ (maxdiff %g)", matrix.MaxDiff(plain, rec))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("pivot %d differs", i)
+		}
+	}
+}
+
+func TestRecursivePanelStatic(t *testing.T) {
+	n := 90
+	a, b := matrix.RandomSystem(n, 23)
+	_, res, err := Solve(a, b, Options{NB: 18, Workers: 3, RecursivePanel: true}, StaticLookahead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > matrix.ResidualThreshold {
+		t.Errorf("residual %g", res)
+	}
+}

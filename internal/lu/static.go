@@ -1,0 +1,84 @@
+package lu
+
+import (
+	"sync"
+
+	"phihpl/internal/matrix"
+)
+
+// StaticLookahead factors a in place using the paper's baseline scheme
+// (Section IV-B): stages separated by a global barrier, with the classic
+// look-ahead twist — at each stage the next panel's update is done first
+// and its factorization overlaps the remaining trailing updates, executed
+// by a statically partitioned worker pool.
+//
+// The factors and pivots are bitwise identical to Sequential and Dynamic.
+func StaticLookahead(a *matrix.Dense, piv []int, opts Options) error {
+	opts = opts.withDefaults(a.Cols)
+	st := newState(a, opts)
+	var firstErr error
+
+	// Stage -1: factor panel 0.
+	if err := st.factorPanel(0); err != nil && firstErr == nil {
+		firstErr = err
+	}
+
+	for s := 0; s < st.np; s++ {
+		last := s == st.np-1
+		if last {
+			break // nothing right of the final panel
+		}
+		// Look-ahead target first: update panel s+1 with stage s…
+		st.updatePanel(s, s+1, opts.Workers)
+
+		// …then factor it concurrently with the rest of the stage-s
+		// trailing updates (p = s+2 … np-1).
+		var wg sync.WaitGroup
+		errCh := make(chan error, 1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := st.factorPanel(s + 1); err != nil {
+				select {
+				case errCh <- err:
+				default:
+				}
+			}
+		}()
+
+		// Static partition of the remaining panels over the workers.
+		rest := st.np - (s + 2)
+		if rest > 0 {
+			workers := opts.Workers
+			if workers > rest {
+				workers = rest
+			}
+			next := make(chan int, rest)
+			for p := s + 2; p < st.np; p++ {
+				next <- p
+			}
+			close(next)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for p := range next {
+						st.updatePanel(s, p, 1)
+					}
+				}()
+			}
+		}
+		wg.Wait() // the global barrier the dynamic scheme eliminates
+		select {
+		case err := <-errCh:
+			if firstErr == nil {
+				firstErr = err
+			}
+		default:
+		}
+	}
+
+	st.finishLeftSwaps()
+	st.globalPivots(piv)
+	return firstErr
+}

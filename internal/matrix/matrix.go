@@ -1,0 +1,257 @@
+// Package matrix provides dense row-major matrices, deterministic random
+// fills, norms, and the HPL residual check used to validate every LU and
+// HPL driver in this repository.
+//
+// Matrices are stored row-major, matching the paper's DGEMM convention
+// (Section III footnote 3: a column-major product is obtained by swapping
+// the operands). Sub-matrix views share the underlying storage, which is
+// what the panel/trailing-update decomposition of LU requires.
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a dense row-major matrix of float64. Element (i,j) lives at
+// Data[i*Stride+j]. A Dense may be a view into a larger matrix, in which
+// case Stride > Cols.
+type Dense struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float64
+}
+
+// NewDense allocates a zeroed Rows×Cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimensions %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Stride: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows (copying).
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0)
+	}
+	m := NewDense(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("matrix: ragged rows")
+		}
+		copy(m.Data[i*m.Stride:i*m.Stride+m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i,j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Stride+j] }
+
+// Set assigns element (i,j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Stride+j] = v }
+
+// Row returns row i as a slice sharing storage (length Cols).
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Stride : i*m.Stride+m.Cols] }
+
+// View returns the r×c sub-matrix with upper-left corner (i,j), sharing
+// storage with m.
+func (m *Dense) View(i, j, r, c int) *Dense {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic(fmt.Sprintf("matrix: view (%d,%d,%d,%d) out of %dx%d", i, j, r, c, m.Rows, m.Cols))
+	}
+	if r == 0 || c == 0 {
+		return &Dense{Rows: r, Cols: c, Stride: m.Stride}
+	}
+	off := i*m.Stride + j
+	return &Dense{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[off : off+(r-1)*m.Stride+c]}
+}
+
+// Clone returns a compact (Stride==Cols) copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+// CopyFrom copies src into m; dimensions must match.
+func (m *Dense) CopyFrom(src *Dense) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("matrix: CopyFrom dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Row(i), src.Row(i))
+	}
+}
+
+// Zero sets every element to 0.
+func (m *Dense) Zero() {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
+// Eye returns the n×n identity.
+func Eye(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Equal reports exact element-wise equality of dimensions and values.
+func Equal(a, b *Dense) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxDiff returns the largest |a-b| over all elements; dimensions must match.
+func MaxDiff(a, b *Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("matrix: MaxDiff dimension mismatch")
+	}
+	d := 0.0
+	for i := 0; i < a.Rows; i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if v := math.Abs(ra[j] - rb[j]); v > d {
+				d = v
+			}
+		}
+	}
+	return d
+}
+
+// NormInf returns the infinity norm (max absolute row sum).
+func (m *Dense) NormInf() float64 {
+	n := 0.0
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for _, v := range m.Row(i) {
+			s += math.Abs(v)
+		}
+		if s > n {
+			n = s
+		}
+	}
+	return n
+}
+
+// NormOne returns the one norm (max absolute column sum).
+func (m *Dense) NormOne() float64 {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	sums := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j, v := range m.Row(i) {
+			sums[j] += math.Abs(v)
+		}
+	}
+	n := 0.0
+	for _, s := range sums {
+		if s > n {
+			n = s
+		}
+	}
+	return n
+}
+
+// MaxAbs returns the largest absolute element.
+func (m *Dense) MaxAbs() float64 {
+	n := 0.0
+	for i := 0; i < m.Rows; i++ {
+		for _, v := range m.Row(i) {
+			if a := math.Abs(v); a > n {
+				n = a
+			}
+		}
+	}
+	return n
+}
+
+// MulVec computes y = A*x. len(x) must be A.Cols; the result has length
+// A.Rows.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("matrix: MulVec dimension mismatch")
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// VecNormInf returns max |v_i|.
+func VecNormInf(v []float64) float64 {
+	n := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > n {
+			n = a
+		}
+	}
+	return n
+}
+
+// VecNormOne returns sum |v_i|.
+func VecNormOne(v []float64) float64 {
+	n := 0.0
+	for _, x := range v {
+		n += math.Abs(x)
+	}
+	return n
+}
+
+// Residual computes the scaled HPL residual
+//
+//	||Ax-b||_inf / (eps * (||A||_inf * ||x||_inf + ||b||_inf) * n)
+//
+// which HPL declares PASSED when below the threshold 16.0. A must be the
+// original (unfactored) matrix.
+func Residual(a *Dense, x, b []float64) float64 {
+	n := a.Rows
+	if n == 0 {
+		return 0
+	}
+	ax := a.MulVec(x)
+	for i := range ax {
+		ax[i] -= b[i]
+	}
+	num := VecNormInf(ax)
+	den := machEps * (a.NormInf()*VecNormInf(x) + VecNormInf(b)) * float64(n)
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return num / den
+}
+
+// ResidualThreshold is the HPL pass/fail threshold for the scaled residual.
+const ResidualThreshold = 16.0
+
+// machEps is the double-precision machine epsilon (2^-52), as used by HPL.
+const machEps = 2.220446049250313e-16

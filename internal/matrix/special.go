@@ -1,0 +1,100 @@
+package matrix
+
+// Special test matrices used across the test suites to probe numerical
+// edge cases of the factorization drivers.
+
+// Hilbert returns the notoriously ill-conditioned Hilbert matrix
+// H(i,j) = 1/(i+j+1).
+func Hilbert(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, 1/float64(i+j+1))
+		}
+	}
+	return m
+}
+
+// Wilkinson returns the classic pivot-growth adversary: unit diagonal,
+// -1 below the diagonal, +1 in the last column. Partial pivoting never
+// swaps, and the last column doubles at every elimination step, reaching
+// growth 2^(n-1).
+func Wilkinson(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+		for j := 0; j < i; j++ {
+			m.Set(i, j, -1)
+		}
+		m.Set(i, n-1, 1)
+	}
+	return m
+}
+
+// DiagonallyDominant returns a random matrix with its diagonal boosted so
+// every row is strictly diagonally dominant — guaranteed non-singular and
+// factorizable without pivoting.
+func DiagonallyDominant(n int, seed uint64) *Dense {
+	m := RandomGeneral(n, n, seed)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for _, v := range m.Row(i) {
+			if v < 0 {
+				s -= v
+			} else {
+				s += v
+			}
+		}
+		m.Set(i, i, s+1)
+	}
+	return m
+}
+
+// Graded returns a random matrix with rows scaled by decades of 10 from 1
+// down to 10^-decades, stressing scaling robustness.
+func Graded(n int, decades float64, seed uint64) *Dense {
+	m := RandomGeneral(n, n, seed)
+	for i := 0; i < n; i++ {
+		s := pow10(-decades * float64(i) / float64(n))
+		row := m.Row(i)
+		for j := range row {
+			row[j] *= s
+		}
+	}
+	return m
+}
+
+// pow10 computes 10^x without importing math (keeps this file dependency
+// free); accuracy is ample for test-matrix generation.
+func pow10(x float64) float64 {
+	// 10^x = e^(x ln 10)
+	const ln10 = 2.302585092994046
+	return exp(x * ln10)
+}
+
+// exp is a simple range-reduced Taylor evaluation of e^x.
+func exp(x float64) float64 {
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	// e^x = (e^(x/2^k))^(2^k) with x/2^k small.
+	k := 0
+	for x > 0.5 {
+		x /= 2
+		k++
+	}
+	// Taylor to machine precision for |x| <= 0.5.
+	term, sum := 1.0, 1.0
+	for i := 1; i < 20; i++ {
+		term *= x / float64(i)
+		sum += term
+	}
+	for ; k > 0; k-- {
+		sum *= sum
+	}
+	if neg {
+		return 1 / sum
+	}
+	return sum
+}

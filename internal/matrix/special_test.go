@@ -1,0 +1,70 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHilbert(t *testing.T) {
+	h := Hilbert(3)
+	if h.At(0, 0) != 1 || h.At(1, 1) != 1.0/3 || h.At(2, 1) != 0.25 {
+		t.Errorf("hilbert entries wrong: %+v", h)
+	}
+	// Symmetric.
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if h.At(i, j) != h.At(j, i) {
+				t.Error("hilbert not symmetric")
+			}
+		}
+	}
+}
+
+func TestWilkinson(t *testing.T) {
+	w := Wilkinson(4)
+	want := FromRows([][]float64{
+		{1, 0, 0, 1},
+		{-1, 1, 0, 1},
+		{-1, -1, 1, 1},
+		{-1, -1, -1, 1},
+	})
+	if !Equal(w, want) {
+		t.Errorf("wilkinson = %+v", w)
+	}
+}
+
+func TestDiagonallyDominant(t *testing.T) {
+	m := DiagonallyDominant(30, 9)
+	for i := 0; i < 30; i++ {
+		off := 0.0
+		for j, v := range m.Row(i) {
+			if j != i {
+				off += math.Abs(v)
+			}
+		}
+		if math.Abs(m.At(i, i)) <= off {
+			t.Fatalf("row %d not dominant", i)
+		}
+	}
+}
+
+func TestGraded(t *testing.T) {
+	g := Graded(50, 6, 3)
+	// Rows shrink: last row's max abs should be far below the first's.
+	first := VecNormInf(g.Row(0))
+	last := VecNormInf(g.Row(49))
+	if last >= first*1e-4 {
+		t.Errorf("grading too weak: first %g last %g", first, last)
+	}
+}
+
+func TestInternalExpPow10(t *testing.T) {
+	for _, x := range []float64{-3, -1.5, -0.1, 0, 0.3, 1, 2.7} {
+		if got, want := exp(x), math.Exp(x); math.Abs(got-want)/math.Max(want, 1e-300) > 1e-12 {
+			t.Errorf("exp(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if got := pow10(-2); math.Abs(got-0.01) > 1e-15 {
+		t.Errorf("pow10(-2) = %v", got)
+	}
+}

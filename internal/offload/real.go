@@ -1,0 +1,151 @@
+package offload
+
+import (
+	"sync"
+
+	"phihpl/internal/blas"
+	"phihpl/internal/matrix"
+	"phihpl/internal/pack"
+)
+
+// RealConfig configures the functional offload engine.
+type RealConfig struct {
+	// Mt, Nt are the nominal tile dimensions (0 -> 64).
+	Mt, Nt int
+	// CardWorkers emulate coprocessor cards: goroutines that consume
+	// tiles from the top-left, packing operands into the Knights
+	// Corner-friendly layout first, exactly like the real offload path.
+	CardWorkers int
+	// HostWorkers consume tiles from the bottom-right with plain DGEMM.
+	HostWorkers int
+}
+
+func (c RealConfig) withDefaults() RealConfig {
+	if c.Mt < 1 {
+		c.Mt = 64
+	}
+	if c.Nt < 1 {
+		c.Nt = 64
+	}
+	if c.CardWorkers < 0 {
+		c.CardWorkers = 0
+	}
+	if c.HostWorkers < 0 {
+		c.HostWorkers = 0
+	}
+	if c.CardWorkers+c.HostWorkers == 0 {
+		c.CardWorkers = 1
+	}
+	return c
+}
+
+// Stats reports how the tile grid was split by the work-stealing loop.
+type Stats struct {
+	CardTiles, HostTiles int
+}
+
+// stealQueue hands out tile indices from both ends of [0, n).
+type stealQueue struct {
+	mu         sync.Mutex
+	head, tail int // head = next front index, tail = next back index
+}
+
+func newStealQueue(n int) *stealQueue { return &stealQueue{head: 0, tail: n - 1} }
+
+// front claims the next tile from the top-left; ok=false when exhausted.
+func (q *stealQueue) front() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head > q.tail {
+		return 0, false
+	}
+	i := q.head
+	q.head++
+	return i, true
+}
+
+// back claims the next tile from the bottom-right.
+func (q *stealQueue) back() (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head > q.tail {
+		return 0, false
+	}
+	i := q.tail
+	q.tail--
+	return i, true
+}
+
+// Compute performs C += A·B (A: M×K, B: K×N, C: M×N) using the offload
+// work-stealing schedule: card workers take tiles in column-major order
+// from the front of the grid, host workers from the back, one tile at a
+// time, until the grid is exhausted. Card workers pack their operands into
+// the tiled Knights Corner layout before multiplying — the same data path
+// as the real offload engine — while host workers run plain DGEMM.
+// The result is bitwise independent of the worker split because tiles are
+// disjoint regions of C.
+func Compute(a, b, c *matrix.Dense, cfg RealConfig) Stats {
+	if a.Rows != c.Rows || b.Cols != c.Cols || a.Cols != b.Rows {
+		panic("offload: Compute dimension mismatch")
+	}
+	cfg = cfg.withDefaults()
+	plan := PlanTiles(c.Rows, c.Cols, cfg.Mt, cfg.Nt)
+	q := newStealQueue(plan.NumTiles())
+
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		stats Stats
+	)
+
+	runTile := func(idx int, card bool) {
+		r0, c0, rows, cols := plan.Tile(idx)
+		av := a.View(r0, 0, rows, a.Cols)
+		bv := b.View(0, c0, b.Rows, cols)
+		cv := c.View(r0, c0, rows, cols)
+		if card {
+			// Host packs, card multiplies from the packed layout.
+			pa := pack.PackA(av, pack.DefaultTileM)
+			pb := pack.PackB(bv)
+			pack.Gemm(pa, pb, cv, 1)
+		} else {
+			blas.Dgemm(false, false, 1, av, bv, 1, cv)
+		}
+		mu.Lock()
+		if card {
+			stats.CardTiles++
+		} else {
+			stats.HostTiles++
+		}
+		mu.Unlock()
+	}
+
+	for w := 0; w < cfg.CardWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx, ok := q.front()
+				if !ok {
+					return
+				}
+				runTile(idx, true)
+			}
+		}()
+	}
+	for w := 0; w < cfg.HostWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx, ok := q.back()
+				if !ok {
+					return
+				}
+				runTile(idx, false)
+			}
+		}()
+	}
+	wg.Wait()
+	return stats
+}

@@ -1,0 +1,243 @@
+// Package pack implements the Knights Corner-friendly matrix layout of
+// Section III-A3 of the paper, with real data movement.
+//
+// Before an outer product C += Ai·Bi, the paper packs:
+//
+//   - Ai (M×k) into block row-major tiles of TileM×k, each tile stored
+//     column-major (Figure 3a; TileM is 30 for Basic Kernel 2, 31 for
+//     Basic Kernel 1). Column-major tiles give the micro-kernel contiguous
+//     access to each column of a and simple prefetch address arithmetic.
+//   - Bi (k×N) into tiles of k×TileN (TileN = 8, the vector width), each
+//     tile stored row-major (Figure 3b), so an 8-element row of b is one
+//     aligned vector load.
+//
+// Small tile leading dimensions avoid the TLB pressure and cache-
+// associativity conflicts of large-leading-dimension source matrices.
+// The packing cost is quadratic and is amortized by the cubic multiply;
+// internal/perfmodel accounts its bandwidth cost for Figure 4.
+package pack
+
+import (
+	"sync"
+
+	"phihpl/internal/matrix"
+)
+
+// DefaultTileM is the a-tile height of Basic Kernel 2 (30 rows blocked in
+// registers, leaving one register for the broadcast of a and one for b).
+const DefaultTileM = 30
+
+// KernelOneTileM is the a-tile height of Basic Kernel 1 (31 rows, all but
+// one register).
+const KernelOneTileM = 31
+
+// TileN is the b-tile width: 8 doubles, one 512-bit vector register.
+const TileN = 8
+
+// A is matrix Ai packed into TileM×K column-major tiles. Partial bottom
+// tiles are zero-padded to full height so that tile addressing is uniform.
+type A struct {
+	M, K  int
+	TileM int
+	Data  []float64 // len = Tiles()*TileM*K
+}
+
+// Tiles returns the number of row tiles.
+func (p *A) Tiles() int { return (p.M + p.TileM - 1) / p.TileM }
+
+// Tile returns the backing slice of tile t (TileM*K values, column-major:
+// element (i,p) at [p*TileM+i]).
+func (p *A) Tile(t int) []float64 {
+	sz := p.TileM * p.K
+	return p.Data[t*sz : (t+1)*sz]
+}
+
+// TileRows returns how many rows of tile t are real (unpadded).
+func (p *A) TileRows(t int) int {
+	r := p.M - t*p.TileM
+	if r > p.TileM {
+		r = p.TileM
+	}
+	return r
+}
+
+// PackA packs the M×K matrix a into TileM-row column-major tiles.
+func PackA(a *matrix.Dense, tileM int) *A {
+	if tileM < 1 {
+		tileM = DefaultTileM
+	}
+	p := &A{M: a.Rows, K: a.Cols, TileM: tileM}
+	p.Data = make([]float64, p.Tiles()*tileM*a.Cols)
+	for t := 0; t < p.Tiles(); t++ {
+		tile := p.Tile(t)
+		rows := p.TileRows(t)
+		base := t * tileM
+		for i := 0; i < rows; i++ {
+			src := a.Row(base + i)
+			for k, v := range src {
+				tile[k*tileM+i] = v
+			}
+		}
+	}
+	return p
+}
+
+// Unpack writes the packed contents back into dst (M×K), dropping padding.
+func (p *A) Unpack(dst *matrix.Dense) {
+	if dst.Rows != p.M || dst.Cols != p.K {
+		panic("pack: A.Unpack dimension mismatch")
+	}
+	for t := 0; t < p.Tiles(); t++ {
+		tile := p.Tile(t)
+		rows := p.TileRows(t)
+		base := t * p.TileM
+		for i := 0; i < rows; i++ {
+			row := dst.Row(base + i)
+			for k := range row {
+				row[k] = tile[k*p.TileM+i]
+			}
+		}
+	}
+}
+
+// B is matrix Bi packed into K×TileN row-major tiles. Partial right tiles
+// are zero-padded to full width.
+type B struct {
+	K, N int
+	Data []float64 // len = Tiles()*K*TileN
+}
+
+// Tiles returns the number of column tiles.
+func (p *B) Tiles() int { return (p.N + TileN - 1) / TileN }
+
+// Tile returns the backing slice of tile t (K*TileN values, row-major:
+// element (k,j) at [k*TileN+j]).
+func (p *B) Tile(t int) []float64 {
+	sz := p.K * TileN
+	return p.Data[t*sz : (t+1)*sz]
+}
+
+// TileCols returns how many columns of tile t are real.
+func (p *B) TileCols(t int) int {
+	c := p.N - t*TileN
+	if c > TileN {
+		c = TileN
+	}
+	return c
+}
+
+// PackB packs the K×N matrix b into 8-column row-major tiles.
+func PackB(b *matrix.Dense) *B {
+	p := &B{K: b.Rows, N: b.Cols}
+	p.Data = make([]float64, p.Tiles()*b.Rows*TileN)
+	for t := 0; t < p.Tiles(); t++ {
+		tile := p.Tile(t)
+		cols := p.TileCols(t)
+		base := t * TileN
+		for k := 0; k < b.Rows; k++ {
+			src := b.Row(k)[base : base+cols]
+			dst := tile[k*TileN : k*TileN+cols]
+			copy(dst, src)
+		}
+	}
+	return p
+}
+
+// Unpack writes the packed contents back into dst (K×N).
+func (p *B) Unpack(dst *matrix.Dense) {
+	if dst.Rows != p.K || dst.Cols != p.N {
+		panic("pack: B.Unpack dimension mismatch")
+	}
+	for t := 0; t < p.Tiles(); t++ {
+		tile := p.Tile(t)
+		cols := p.TileCols(t)
+		base := t * TileN
+		for k := 0; k < p.K; k++ {
+			copy(dst.Row(k)[base:base+cols], tile[k*TileN:k*TileN+cols])
+		}
+	}
+}
+
+// microKernel computes the rows×cols corner of c += a-tile × b-tile,
+// mirroring the register blocking of the basic kernels: for each p in
+// [0,K), broadcast column p of a (contiguous in the column-major tile) and
+// multiply by the 8-wide row p of b (contiguous in the row-major tile).
+func microKernel(aTile []float64, tileM, k int, bTile []float64, c *matrix.Dense, rows, cols int) {
+	// acc mirrors the v0..v29 accumulator registers.
+	var acc [DefaultTileM + 1][TileN]float64
+	for p := 0; p < k; p++ {
+		aCol := aTile[p*tileM : p*tileM+rows]
+		bRow := bTile[p*TileN : p*TileN+TileN]
+		for i, av := range aCol {
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < TileN; j++ {
+				acc[i][j] += av * bRow[j]
+			}
+		}
+	}
+	// Update C with the register block (the "update c" epilogue whose cost
+	// is amortized by large k).
+	for i := 0; i < rows; i++ {
+		row := c.Row(i)[:cols]
+		for j := range row {
+			row[j] += acc[i][j]
+		}
+	}
+}
+
+// Gemm computes c += a·b from packed operands using the micro-kernel, with
+// the (aTile, bTile) grid distributed across workers. It is the functional
+// model of the paper's native DGEMM: packing plus a grid of TileM×8
+// register-blocked outer products.
+func Gemm(a *A, b *B, c *matrix.Dense, workers int) {
+	if a.K != b.K || c.Rows != a.M || c.Cols != b.N {
+		panic("pack: Gemm dimension mismatch")
+	}
+	type job struct{ ta, tb int }
+	jobs := make([]job, 0, a.Tiles()*b.Tiles())
+	for ta := 0; ta < a.Tiles(); ta++ {
+		for tb := 0; tb < b.Tiles(); tb++ {
+			jobs = append(jobs, job{ta, tb})
+		}
+	}
+	run := func(j job) {
+		rows := a.TileRows(j.ta)
+		cols := b.TileCols(j.tb)
+		cv := c.View(j.ta*a.TileM, j.tb*TileN, rows, cols)
+		microKernel(a.Tile(j.ta), a.TileM, a.K, b.Tile(j.tb), cv, rows, cols)
+	}
+	if workers <= 1 || len(jobs) < 2 {
+		for _, j := range jobs {
+			run(j)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan job, len(jobs))
+	for _, j := range jobs {
+		next <- j
+	}
+	close(next)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				run(j)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// PackedBytes returns the number of bytes moved to pack an M×K A-block and
+// a K×N B-block (read source + write packed buffer), used by the packing
+// overhead model.
+func PackedBytes(m, n, k int) float64 {
+	return 2 * 8 * float64(m*k+k*n)
+}

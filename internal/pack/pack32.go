@@ -1,0 +1,169 @@
+package pack
+
+import "sync"
+
+// Single-precision packing and micro-kernel, mirroring the float64 path.
+// The paper evaluates SGEMM alongside DGEMM (Table II): the SP vector is
+// 16 lanes wide, so b-tiles are 16 columns and the register-blocked
+// a-tile keeps the same 30 rows.
+
+// TileN32 is the single-precision b-tile width: 16 floats, one 512-bit
+// vector register.
+const TileN32 = 16
+
+// A32 is a float32 matrix packed into TileM×K column-major tiles.
+type A32 struct {
+	M, K  int
+	TileM int
+	Data  []float32
+}
+
+// Tiles returns the number of row tiles.
+func (p *A32) Tiles() int { return (p.M + p.TileM - 1) / p.TileM }
+
+// Tile returns tile t's backing slice (column-major).
+func (p *A32) Tile(t int) []float32 {
+	sz := p.TileM * p.K
+	return p.Data[t*sz : (t+1)*sz]
+}
+
+// TileRows returns the real (unpadded) rows of tile t.
+func (p *A32) TileRows(t int) int {
+	r := p.M - t*p.TileM
+	if r > p.TileM {
+		r = p.TileM
+	}
+	return r
+}
+
+// PackA32 packs an M×K row-major float32 matrix (leading dimension lda).
+func PackA32(a []float32, m, k, lda int, tileM int) *A32 {
+	if tileM < 1 {
+		tileM = DefaultTileM
+	}
+	p := &A32{M: m, K: k, TileM: tileM}
+	p.Data = make([]float32, p.Tiles()*tileM*k)
+	for t := 0; t < p.Tiles(); t++ {
+		tile := p.Tile(t)
+		rows := p.TileRows(t)
+		base := t * tileM
+		for i := 0; i < rows; i++ {
+			src := a[(base+i)*lda : (base+i)*lda+k]
+			for kk, v := range src {
+				tile[kk*tileM+i] = v
+			}
+		}
+	}
+	return p
+}
+
+// B32 is a float32 matrix packed into K×16 row-major tiles.
+type B32 struct {
+	K, N int
+	Data []float32
+}
+
+// Tiles returns the number of column tiles.
+func (p *B32) Tiles() int { return (p.N + TileN32 - 1) / TileN32 }
+
+// Tile returns tile t's backing slice (row-major).
+func (p *B32) Tile(t int) []float32 {
+	sz := p.K * TileN32
+	return p.Data[t*sz : (t+1)*sz]
+}
+
+// TileCols returns the real columns of tile t.
+func (p *B32) TileCols(t int) int {
+	c := p.N - t*TileN32
+	if c > TileN32 {
+		c = TileN32
+	}
+	return c
+}
+
+// PackB32 packs a K×N row-major float32 matrix (leading dimension ldb).
+func PackB32(b []float32, k, n, ldb int) *B32 {
+	p := &B32{K: k, N: n}
+	p.Data = make([]float32, p.Tiles()*k*TileN32)
+	for t := 0; t < p.Tiles(); t++ {
+		tile := p.Tile(t)
+		cols := p.TileCols(t)
+		base := t * TileN32
+		for kk := 0; kk < k; kk++ {
+			copy(tile[kk*TileN32:kk*TileN32+cols], b[kk*ldb+base:kk*ldb+base+cols])
+		}
+	}
+	return p
+}
+
+// microKernel32 computes rows×cols of c += aTile × bTile.
+func microKernel32(aTile []float32, tileM, k int, bTile []float32, c []float32, ldc, rows, cols int) {
+	var acc [DefaultTileM + 1][TileN32]float32
+	for p := 0; p < k; p++ {
+		aCol := aTile[p*tileM : p*tileM+rows]
+		bRow := bTile[p*TileN32 : p*TileN32+TileN32]
+		for i, av := range aCol {
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < TileN32; j++ {
+				acc[i][j] += av * bRow[j]
+			}
+		}
+	}
+	for i := 0; i < rows; i++ {
+		row := c[i*ldc : i*ldc+cols]
+		for j := range row {
+			row[j] += acc[i][j]
+		}
+	}
+}
+
+// Gemm32 computes c += a·b over packed single-precision operands; c is
+// M×N row-major with leading dimension ldc.
+func Gemm32(a *A32, b *B32, c []float32, ldc int, workers int) {
+	if a.K != b.K {
+		panic("pack: Gemm32 dimension mismatch")
+	}
+	if ldc < b.N {
+		panic("pack: Gemm32 ldc too small")
+	}
+	type job struct{ ta, tb int }
+	jobs := make([]job, 0, a.Tiles()*b.Tiles())
+	for ta := 0; ta < a.Tiles(); ta++ {
+		for tb := 0; tb < b.Tiles(); tb++ {
+			jobs = append(jobs, job{ta, tb})
+		}
+	}
+	run := func(j job) {
+		rows := a.TileRows(j.ta)
+		cols := b.TileCols(j.tb)
+		off := j.ta*a.TileM*ldc + j.tb*TileN32
+		microKernel32(a.Tile(j.ta), a.TileM, a.K, b.Tile(j.tb), c[off:], ldc, rows, cols)
+	}
+	if workers <= 1 || len(jobs) < 2 {
+		for _, j := range jobs {
+			run(j)
+		}
+		return
+	}
+	next := make(chan job, len(jobs))
+	for _, j := range jobs {
+		next <- j
+	}
+	close(next)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range next {
+				run(j)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,74 @@
+package pcie
+
+import (
+	"math"
+	"testing"
+
+	"phihpl/internal/machine"
+)
+
+func TestTransferTime(t *testing.T) {
+	l := NewLink(machine.DefaultPCIe())
+	// 6 GB at 6 GB/s raw = 1 s + latency.
+	if d := l.TransferTime(6e9); math.Abs(d-1.00001) > 1e-6 {
+		t.Errorf("raw transfer = %v, want ~1s", d)
+	}
+	l.Contended = true
+	if d := l.TransferTime(4e9); math.Abs(d-1.00001) > 1e-6 {
+		t.Errorf("contended transfer = %v, want ~1s", d)
+	}
+	if l.TransferTime(0) != 0 {
+		t.Error("zero bytes should be free")
+	}
+}
+
+func TestShare(t *testing.T) {
+	l := NewLink(machine.DefaultPCIe())
+	l.Contended = true
+	l.Share = 0.5
+	if bw := l.Bandwidth(); bw != 2e9 {
+		t.Errorf("shared bandwidth = %v, want 2e9", bw)
+	}
+	l.Share = 0 // invalid -> treated as exclusive
+	if bw := l.Bandwidth(); bw != 4e9 {
+		t.Errorf("bandwidth with bad share = %v", bw)
+	}
+}
+
+func TestEnqueueSerializesPerDirection(t *testing.T) {
+	l := NewLink(machine.DefaultPCIe())
+	s1, e1 := l.Enqueue(HostToDevice, 0, 6e9) // ~[0, 1)
+	s2, e2 := l.Enqueue(HostToDevice, 0, 6e9) // queued behind
+	if s1 != 0 || s2 < e1 {
+		t.Errorf("same-direction transfers must serialize: [%v,%v) [%v,%v)", s1, e1, s2, e2)
+	}
+	// Opposite direction is independent (full duplex).
+	s3, _ := l.Enqueue(DeviceToHost, 0, 6e9)
+	if s3 != 0 {
+		t.Errorf("opposite direction should start immediately, got %v", s3)
+	}
+	if l.BytesMoved[HostToDevice] != 12e9 || l.BytesMoved[DeviceToHost] != 6e9 {
+		t.Errorf("traffic accounting wrong: %v", l.BytesMoved)
+	}
+	if l.BusyUntil(HostToDevice) != e2 {
+		t.Errorf("BusyUntil = %v, want %v", l.BusyUntil(HostToDevice), e2)
+	}
+	if l.BusyUntil(DeviceToHost) <= 0 {
+		t.Error("d2h BusyUntil should advance")
+	}
+}
+
+func TestMinKt(t *testing.T) {
+	// The paper: BWpcie ≈ 4 GB/s, Pdgemm ≈ 950 GFLOPS => Kt at least 950.
+	kt := MinKt(950, 4e9)
+	if kt != 950 {
+		t.Errorf("MinKt = %d, want 950", kt)
+	}
+	// And they chose Kt = 1200 with margin — the bound must sit below it.
+	if kt >= 1200 {
+		t.Error("chosen Kt=1200 must exceed the bound")
+	}
+	if MinKt(950, 0) != 0 {
+		t.Error("zero bandwidth")
+	}
+}

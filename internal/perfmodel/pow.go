@@ -1,0 +1,7 @@
+package perfmodel
+
+import "math"
+
+// mathPow wraps math.Pow behind one symbol so calibration code documents
+// every place a non-polynomial curve shape enters the model.
+func mathPow(base, exp float64) float64 { return math.Pow(base, exp) }

@@ -1,0 +1,83 @@
+// Package power models node- and cluster-level energy efficiency, backing
+// the paper's concluding analysis (Section VII): the Sandy Bridge host is
+// several times slower than a Knights Corner card yet consumes comparable
+// power, so a hybrid node is less energy efficient than a hypothetical
+// fully-native configuration that runs Linpack on the cards alone with the
+// host CPUs in a deep sleep state — the paper's stated future work.
+//
+// Power figures are nameplate TDPs of the era's parts (E5-2670: 115 W per
+// socket; Knights Corner SE10/7110-class card: 300 W) plus a platform
+// overhead for memory, fans, and the NIC.
+package power
+
+// Budget is a node's power breakdown in watts.
+type Budget struct {
+	// HostSocketW is the TDP of one host socket (115 W for the E5-2670).
+	HostSocketW float64
+	// HostSockets is the socket count (2).
+	HostSockets int
+	// HostIdleW is the host package power in a deep sleep state, per
+	// socket (the paper's future-work scenario).
+	HostIdleW float64
+	// CardW is one coprocessor card's board power (300 W).
+	CardW float64
+	// PlatformW covers DRAM, fans, NIC and the PCB (per node).
+	PlatformW float64
+}
+
+// Default returns the paper-era budget.
+func Default() Budget {
+	return Budget{
+		HostSocketW: 115,
+		HostSockets: 2,
+		HostIdleW:   15,
+		CardW:       300,
+		PlatformW:   120,
+	}
+}
+
+// HybridNodeW returns the draw of a hybrid node with the host active and
+// `cards` coprocessors busy.
+func (b Budget) HybridNodeW(cards int) float64 {
+	return float64(b.HostSockets)*b.HostSocketW + float64(cards)*b.CardW + b.PlatformW
+}
+
+// NativeNodeW returns the draw with the host CPUs in deep sleep and
+// `cards` coprocessors running Linpack natively.
+func (b Budget) NativeNodeW(cards int) float64 {
+	return float64(b.HostSockets)*b.HostIdleW + float64(cards)*b.CardW + b.PlatformW
+}
+
+// HostOnlyW returns the draw of a CPU-only node.
+func (b Budget) HostOnlyW() float64 {
+	return float64(b.HostSockets)*b.HostSocketW + b.PlatformW
+}
+
+// Efficiency returns GFLOPS per watt.
+func Efficiency(gflops, watts float64) float64 {
+	if watts <= 0 {
+		return 0
+	}
+	return gflops / watts
+}
+
+// Scenario couples an achieved performance with a power draw.
+type Scenario struct {
+	Name   string
+	GFLOPS float64
+	Watts  float64
+}
+
+// PerWatt returns the scenario's GFLOPS/W.
+func (s Scenario) PerWatt() float64 { return Efficiency(s.GFLOPS, s.Watts) }
+
+// Compare builds the paper's three single-node scenarios from achieved
+// performance numbers: CPU-only HPL, hybrid HPL (host + cards), and
+// native Linpack on the cards with the host asleep.
+func Compare(b Budget, hostGFLOPS, hybridGFLOPS, nativePerCardGFLOPS float64, cards int) []Scenario {
+	return []Scenario{
+		{Name: "host-only HPL", GFLOPS: hostGFLOPS, Watts: b.HostOnlyW()},
+		{Name: "hybrid HPL", GFLOPS: hybridGFLOPS, Watts: b.HybridNodeW(cards)},
+		{Name: "native on cards (host asleep)", GFLOPS: nativePerCardGFLOPS * float64(cards), Watts: b.NativeNodeW(cards)},
+	}
+}

@@ -1,0 +1,193 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine. It is the virtual-time substrate on which the schedulers of this
+// repository (the native-Linpack DAG scheduler, the offload-DGEMM work
+// stealing loop, the hybrid-HPL look-ahead pipelines) are replayed with task
+// costs from the machine model instead of wall-clock time.
+//
+// The engine is intentionally minimal: a time-ordered event queue with a
+// stable tie-break sequence number, so that two runs of the same program
+// produce identical schedules. There is no wall clock and no randomness.
+package sim
+
+import "container/heap"
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator with a virtual clock.
+// The zero value is ready to use at time 0.
+type Engine struct {
+	now    float64
+	seq    int64
+	events eventHeap
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// (t < Now) clamps to Now; events at equal times fire in scheduling order.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d seconds from now.
+func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step fires the earliest event and advances the clock to its time.
+// It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains and returns the final time.
+func (e *Engine) Run() float64 {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with time <= t, then advances the clock to t.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Resource models a serially-shared facility (a PCIe link, a memory
+// controller, a lock). Reservations are granted FIFO in call order and the
+// resource is busy for the requested duration. Reserve is analytic: it does
+// not schedule events, it just returns the [start, end) interval the caller
+// was granted, which the caller typically feeds back into Engine.At.
+type Resource struct {
+	// BusyUntil is the virtual time at which the resource next frees up.
+	BusyUntil float64
+	// TotalBusy accumulates granted service time (for utilization reports).
+	TotalBusy float64
+}
+
+// Reserve grants the resource for duration d starting no earlier than t.
+// It returns the granted start and end times.
+func (r *Resource) Reserve(t, d float64) (start, end float64) {
+	start = t
+	if r.BusyUntil > start {
+		start = r.BusyUntil
+	}
+	end = start + d
+	r.BusyUntil = end
+	r.TotalBusy += d
+	return start, end
+}
+
+// Utilization returns the fraction of [0, horizon] the resource was busy.
+func (r *Resource) Utilization(horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	u := r.TotalBusy / horizon
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// WorkerPool tracks the next-free time of a set of identical virtual
+// workers (cores or thread groups). It is the building block for the
+// list-scheduling style simulations in internal/simlu.
+type WorkerPool struct {
+	FreeAt []float64
+}
+
+// NewWorkerPool returns a pool of n workers all free at time 0.
+func NewWorkerPool(n int) *WorkerPool { return &WorkerPool{FreeAt: make([]float64, n)} }
+
+// N returns the number of workers.
+func (p *WorkerPool) N() int { return len(p.FreeAt) }
+
+// Earliest returns the index and free-time of the worker that frees first.
+func (p *WorkerPool) Earliest() (idx int, t float64) {
+	idx, t = 0, p.FreeAt[0]
+	for i, ft := range p.FreeAt {
+		if ft < t {
+			idx, t = i, ft
+		}
+	}
+	return idx, t
+}
+
+// Assign runs a task of duration d on worker idx starting no earlier than
+// earliest; it returns the completion time.
+func (p *WorkerPool) Assign(idx int, earliest, d float64) float64 {
+	start := p.FreeAt[idx]
+	if earliest > start {
+		start = earliest
+	}
+	p.FreeAt[idx] = start + d
+	return p.FreeAt[idx]
+}
+
+// BarrierAll advances every worker to max(free-times)+overhead, modelling a
+// global barrier, and returns the post-barrier time.
+func (p *WorkerPool) BarrierAll(overhead float64) float64 {
+	maxT := 0.0
+	for _, ft := range p.FreeAt {
+		if ft > maxT {
+			maxT = ft
+		}
+	}
+	maxT += overhead
+	for i := range p.FreeAt {
+		p.FreeAt[i] = maxT
+	}
+	return maxT
+}
+
+// MaxFree returns the latest free-time across workers (the makespan).
+func (p *WorkerPool) MaxFree() float64 {
+	maxT := 0.0
+	for _, ft := range p.FreeAt {
+		if ft > maxT {
+			maxT = ft
+		}
+	}
+	return maxT
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(2.0, func() { order = append(order, 2) })
+	e.At(1.0, func() { order = append(order, 1) })
+	e.At(3.0, func() { order = append(order, 3) })
+	end := e.Run()
+	if end != 3.0 {
+		t.Errorf("end = %v, want 3", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1.0, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-time events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var e Engine
+	var times []float64
+	e.At(1, func() {
+		times = append(times, e.Now())
+		e.After(0.5, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 1.5 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestEnginePastClamps(t *testing.T) {
+	var e Engine
+	fired := false
+	e.At(5, func() {
+		e.At(1, func() { fired = true }) // in the past; clamps to now=5
+	})
+	end := e.Run()
+	if !fired || end != 5 {
+		t.Errorf("fired=%v end=%v", fired, end)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	count := 0
+	e.At(1, func() { count++ })
+	e.At(2, func() { count++ })
+	e.At(10, func() { count++ })
+	e.RunUntil(5)
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+	if e.Now() != 5 {
+		t.Errorf("now = %v, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Error("Step on empty queue should be false")
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	var r Resource
+	s1, e1 := r.Reserve(0, 2)
+	s2, e2 := r.Reserve(1, 3) // asked at t=1 but resource busy until 2
+	if s1 != 0 || e1 != 2 {
+		t.Errorf("first grant [%v,%v)", s1, e1)
+	}
+	if s2 != 2 || e2 != 5 {
+		t.Errorf("second grant [%v,%v), want [2,5)", s2, e2)
+	}
+	if r.TotalBusy != 5 {
+		t.Errorf("TotalBusy = %v, want 5", r.TotalBusy)
+	}
+	if u := r.Utilization(10); u != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+	if u := r.Utilization(0); u != 0 {
+		t.Errorf("utilization(0) = %v, want 0", u)
+	}
+	if u := r.Utilization(1); u != 1 {
+		t.Errorf("utilization clamps to 1, got %v", u)
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	var r Resource
+	r.Reserve(0, 1)
+	s, e := r.Reserve(5, 1) // resource idle from 1 to 5
+	if s != 5 || e != 6 {
+		t.Errorf("grant [%v,%v), want [5,6)", s, e)
+	}
+}
+
+func TestWorkerPool(t *testing.T) {
+	p := NewWorkerPool(3)
+	if p.N() != 3 {
+		t.Fatalf("N = %d", p.N())
+	}
+	p.Assign(0, 0, 5)
+	p.Assign(1, 0, 2)
+	idx, ft := p.Earliest()
+	if idx != 2 || ft != 0 {
+		t.Errorf("earliest = %d@%v, want 2@0", idx, ft)
+	}
+	// Assign respects the earliest-start constraint.
+	end := p.Assign(2, 4, 1)
+	if end != 5 {
+		t.Errorf("end = %v, want 5", end)
+	}
+	if got := p.MaxFree(); got != 5 {
+		t.Errorf("MaxFree = %v, want 5", got)
+	}
+	after := p.BarrierAll(0.5)
+	if after != 5.5 {
+		t.Errorf("barrier time = %v, want 5.5", after)
+	}
+	for i, ft := range p.FreeAt {
+		if ft != 5.5 {
+			t.Errorf("worker %d free at %v after barrier", i, ft)
+		}
+	}
+}
+
+// Property: for any sequence of reservation requests, grants never overlap
+// and are monotone.
+func TestResourceNoOverlapProperty(t *testing.T) {
+	f := func(reqs []struct {
+		T uint8
+		D uint8
+	}) bool {
+		var r Resource
+		lastEnd := 0.0
+		for _, q := range reqs {
+			at := float64(q.T)
+			d := float64(q.D%16) + 0.5
+			s, e := r.Reserve(at, d)
+			if s < lastEnd || e != s+d || s < at {
+				return false
+			}
+			lastEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the engine clock never moves backwards.
+func TestEngineMonotoneClockProperty(t *testing.T) {
+	f := func(ts []float32) bool {
+		var e Engine
+		last := math.Inf(-1)
+		ok := true
+		for _, tf := range ts {
+			tt := math.Abs(float64(tf))
+			e.At(tt, func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package simlu
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"phihpl/internal/trace"
+)
+
+func TestFigure6Headline832(t *testing.T) {
+	// "For the 30K problem, both schemes achieve 832 GFLOPS, which
+	// corresponds to ≈79% efficiency."
+	d := Dynamic(Config{N: 30000})
+	if math.Abs(d.GFLOPS-832) > 10 {
+		t.Errorf("dynamic @30K = %.1f GFLOPS, paper 832", d.GFLOPS)
+	}
+	if d.Eff < 0.775 || d.Eff > 0.80 {
+		t.Errorf("dynamic eff @30K = %.3f, paper ~0.788", d.Eff)
+	}
+	s := Static(Config{N: 30000})
+	// Static approaches dynamic at large sizes (within a few percent).
+	if s.GFLOPS < 0.94*d.GFLOPS || s.GFLOPS > d.GFLOPS*1.01 {
+		t.Errorf("static @30K = %.1f should approach dynamic %.1f", s.GFLOPS, d.GFLOPS)
+	}
+}
+
+func TestFigure6DynamicBeatsStaticAtSmallN(t *testing.T) {
+	// "Up to 8K, dynamic scheduling outperforms static look-ahead."
+	for _, n := range []int{1000, 2000, 5000, 8000} {
+		d := Dynamic(Config{N: n})
+		s := Static(Config{N: n})
+		if d.GFLOPS <= s.GFLOPS {
+			t.Errorf("N=%d: dynamic %.1f should beat static %.1f", n, d.GFLOPS, s.GFLOPS)
+		}
+	}
+}
+
+func TestFigure6GapNarrows(t *testing.T) {
+	// The relative advantage of dynamic shrinks as N grows.
+	rel := func(n int) float64 {
+		d := Dynamic(Config{N: n})
+		s := Static(Config{N: n})
+		return (d.GFLOPS - s.GFLOPS) / s.GFLOPS
+	}
+	small, large := rel(5000), rel(30000)
+	if small <= large {
+		t.Errorf("gap should narrow: 5K %.3f vs 30K %.3f", small, large)
+	}
+}
+
+func TestFigure6Monotone(t *testing.T) {
+	prev := 0.0
+	for _, n := range []int{1000, 2000, 5000, 8000, 15000, 30000} {
+		g := Dynamic(Config{N: n}).GFLOPS
+		if g <= prev {
+			t.Errorf("dynamic GFLOPS not increasing at N=%d: %.1f <= %.1f", n, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Dynamic(Config{N: 8000})
+	b := Dynamic(Config{N: 8000})
+	if a != b {
+		t.Errorf("dynamic simulation must be deterministic: %+v vs %+v", a, b)
+	}
+	if Static(Config{N: 8000}) != Static(Config{N: 8000}) {
+		t.Error("static simulation must be deterministic")
+	}
+}
+
+func TestRegroupingAblation(t *testing.T) {
+	// Super-stage regrouping is what keeps panels hidden at small sizes;
+	// disabling it must hurt there and matter little at 30K.
+	on5 := Dynamic(Config{N: 5000, MaxGroups: 8})
+	off5 := Dynamic(Config{N: 5000, MaxGroups: 8, DisableRegroup: true})
+	if off5.GFLOPS >= 0.85*on5.GFLOPS {
+		t.Errorf("regrouping off @5K should cost >15%%: %.1f vs %.1f", off5.GFLOPS, on5.GFLOPS)
+	}
+	on30 := Dynamic(Config{N: 30000, MaxGroups: 8})
+	off30 := Dynamic(Config{N: 30000, MaxGroups: 8, DisableRegroup: true})
+	if off30.GFLOPS < 0.97*on30.GFLOPS {
+		t.Errorf("regrouping off @30K should cost little: %.1f vs %.1f", off30.GFLOPS, on30.GFLOPS)
+	}
+}
+
+func TestContentionAblation(t *testing.T) {
+	// All threads entering the critical section (the original scheme the
+	// paper extends) must be slower than master-only access.
+	base := Dynamic(Config{N: 10000, MaxGroups: 8})
+	cont := Dynamic(Config{N: 10000, MaxGroups: 8, AllThreadsContend: true})
+	if cont.GFLOPS >= base.GFLOPS {
+		t.Errorf("contention should cost: %.1f vs %.1f", cont.GFLOPS, base.GFLOPS)
+	}
+	if cont.GFLOPS < 0.9*base.GFLOPS {
+		t.Errorf("contention cost should be mild at this size: %.1f vs %.1f", cont.GFLOPS, base.GFLOPS)
+	}
+}
+
+func TestFigure7GanttTraces(t *testing.T) {
+	var dyn trace.Recorder
+	d := Dynamic(Config{N: 5120, NB: 256, Trace: &dyn})
+	var sta trace.Recorder
+	s := Static(Config{N: 5120, NB: 256, Trace: &sta})
+
+	// Dynamic finishes first on the 5K problem (the point of Figure 7).
+	if d.Seconds >= s.Seconds {
+		t.Errorf("dynamic %.3fs should beat static %.3fs at 5K", d.Seconds, s.Seconds)
+	}
+	// Both traces contain the paper's kernel regions.
+	for _, name := range []string{"DGETRF", "DGEMM", "DTRSM", "DLASWP"} {
+		if dyn.Totals()[name] <= 0 {
+			t.Errorf("dynamic trace missing %s", name)
+		}
+		if sta.Totals()[name] <= 0 {
+			t.Errorf("static trace missing %s", name)
+		}
+	}
+	// Static shows barrier regions; dynamic has (almost) none.
+	if sta.Totals()["barrier"] <= 0 {
+		t.Error("static trace must contain barrier regions")
+	}
+	if dyn.Totals()["barrier"] > sta.Totals()["barrier"] {
+		t.Error("dynamic should spend less time at barriers than static")
+	}
+	// The Gantt renders with a legend.
+	g := dyn.Gantt(100)
+	if !strings.Contains(g, "legend:") || !strings.Contains(g, "DGETRF") {
+		t.Errorf("gantt rendering broken:\n%s", g)
+	}
+	// Span iteration tags cover multiple stages.
+	iters := dyn.IterTotals()
+	if len(iters) < 10 {
+		t.Errorf("expected many stages in trace, got %d", len(iters))
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{N: 30000}.withDefaults()
+	if c.NB != 300 || c.MaxGroups != 4 || c.Model == nil {
+		t.Errorf("defaults: %+v", c)
+	}
+	// Small N shrinks NB to keep at least 4 panels.
+	c = Config{N: 1000}.withDefaults()
+	if c.N/c.NB < 4 {
+		t.Errorf("NB=%d leaves too few panels for N=1000", c.NB)
+	}
+	// Tiny N clamps.
+	c = Config{N: 40}.withDefaults()
+	if c.NB > 40 {
+		t.Errorf("NB=%d exceeds N", c.NB)
+	}
+}
+
+func TestTinyProblems(t *testing.T) {
+	// Degenerate sizes should not hang or produce nonsense.
+	for _, n := range []int{64, 100, 301} {
+		d := Dynamic(Config{N: n})
+		s := Static(Config{N: n})
+		if d.Seconds <= 0 || s.Seconds <= 0 {
+			t.Errorf("N=%d: nonpositive times %v %v", n, d.Seconds, s.Seconds)
+		}
+		if d.GFLOPS <= 0 || s.GFLOPS <= 0 {
+			t.Errorf("N=%d: nonpositive GFLOPS", n)
+		}
+		if d.Eff > 1 || s.Eff > 1 {
+			t.Errorf("N=%d: efficiency above peak", n)
+		}
+	}
+}
+
+func TestStagesReported(t *testing.T) {
+	r := Dynamic(Config{N: 3000, NB: 300})
+	if r.Stages != 10 {
+		t.Errorf("stages = %d, want 10", r.Stages)
+	}
+}

@@ -1,0 +1,240 @@
+// Package trace records execution spans from real or simulated runs and
+// renders them as ASCII Gantt charts and region profiles.
+//
+// It backs two artefacts of the paper: Figure 7 (Gantt chart of the native
+// LU execution profile, where the colours DLASWP/DTRSM/DGETRF/DGEMM/barrier
+// become letters), and Figure 9 (per-iteration breakdown of hybrid HPL time
+// into DGEMM vs. exposed U-broadcast / swap / DTRSM / panel regions).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span is one interval of named work on one worker (thread group, core,
+// node — the meaning of Worker is up to the producer).
+type Span struct {
+	Worker int
+	Name   string
+	Iter   int
+	Start  float64
+	End    float64
+}
+
+// Duration returns End-Start.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Recorder accumulates spans. The zero value is ready to use.
+type Recorder struct {
+	spans []Span
+}
+
+// Add records a span. Zero- or negative-length spans are kept (they can
+// carry ordering information) but render as nothing.
+func (r *Recorder) Add(worker int, name string, iter int, start, end float64) {
+	r.spans = append(r.spans, Span{Worker: worker, Name: name, Iter: iter, Start: start, End: end})
+}
+
+// Spans returns the recorded spans in insertion order.
+func (r *Recorder) Spans() []Span { return r.spans }
+
+// Reset discards all spans.
+func (r *Recorder) Reset() { r.spans = r.spans[:0] }
+
+// Makespan returns the latest End over all spans (0 when empty).
+func (r *Recorder) Makespan() float64 {
+	m := 0.0
+	for _, s := range r.spans {
+		if s.End > m {
+			m = s.End
+		}
+	}
+	return m
+}
+
+// Totals sums span durations by name.
+func (r *Recorder) Totals() map[string]float64 {
+	t := make(map[string]float64)
+	for _, s := range r.spans {
+		if d := s.Duration(); d > 0 {
+			t[s.Name] += d
+		}
+	}
+	return t
+}
+
+// IterTotals sums span durations by (iteration, name). The returned slice is
+// indexed by iteration; iterations never seen produce empty maps.
+func (r *Recorder) IterTotals() []map[string]float64 {
+	maxIter := -1
+	for _, s := range r.spans {
+		if s.Iter > maxIter {
+			maxIter = s.Iter
+		}
+	}
+	out := make([]map[string]float64, maxIter+1)
+	for i := range out {
+		out[i] = make(map[string]float64)
+	}
+	for _, s := range r.spans {
+		if s.Iter >= 0 {
+			if d := s.Duration(); d > 0 {
+				out[s.Iter][s.Name] += d
+			}
+		}
+	}
+	return out
+}
+
+// names returns the distinct span names in first-appearance order.
+func (r *Recorder) names() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range r.spans {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// glyphFor assigns a stable one-rune code to each span name: the first
+// letter of the name, upper-cased, disambiguated by subsequent letters or
+// digits when names collide.
+func glyphs(names []string) map[string]rune {
+	g := make(map[string]rune, len(names))
+	used := make(map[rune]bool)
+	for _, n := range names {
+		var r rune = '?'
+		for _, c := range strings.ToUpper(n) {
+			if c >= 'A' && c <= 'Z' && !used[c] {
+				r = c
+				break
+			}
+		}
+		if r == '?' {
+			for c := '0'; c <= '9'; c++ {
+				if !used[c] {
+					r = c
+					break
+				}
+			}
+		}
+		used[r] = true
+		g[n] = r
+	}
+	return g
+}
+
+// Gantt renders the spans as an ASCII chart: one row per worker, width
+// columns across [0, Makespan]. Each cell shows the glyph of the span
+// covering the cell's midpoint (later spans win ties); '.' is idle.
+// A legend follows the chart.
+func (r *Recorder) Gantt(width int) string {
+	if width < 1 {
+		width = 80
+	}
+	makespan := r.Makespan()
+	if makespan <= 0 || len(r.spans) == 0 {
+		return "(empty trace)\n"
+	}
+	maxWorker := 0
+	for _, s := range r.spans {
+		if s.Worker > maxWorker {
+			maxWorker = s.Worker
+		}
+	}
+	names := r.names()
+	g := glyphs(names)
+
+	rows := make([][]rune, maxWorker+1)
+	for i := range rows {
+		rows[i] = []rune(strings.Repeat(".", width))
+	}
+	for _, s := range r.spans {
+		if s.Duration() <= 0 {
+			continue
+		}
+		lo := int(s.Start / makespan * float64(width))
+		hi := int(s.End / makespan * float64(width))
+		if hi == lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		for c := lo; c < hi; c++ {
+			rows[s.Worker][c] = g[s.Name]
+		}
+	}
+
+	var b strings.Builder
+	for i, row := range rows {
+		fmt.Fprintf(&b, "%3d |%s|\n", i, string(row))
+	}
+	fmt.Fprintf(&b, "    t=0 .. t=%.4g s\n", makespan)
+	b.WriteString("legend:")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %c=%s", g[n], n)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// WorkerUtilization returns, per worker index, the fraction of the
+// makespan the worker spent inside spans — the per-lane utilization the
+// hybrid timelines report (card busy vs. idle).
+func (r *Recorder) WorkerUtilization() []float64 {
+	makespan := r.Makespan()
+	if makespan <= 0 {
+		return nil
+	}
+	maxWorker := 0
+	for _, s := range r.spans {
+		if s.Worker > maxWorker {
+			maxWorker = s.Worker
+		}
+	}
+	busy := make([]float64, maxWorker+1)
+	for _, s := range r.spans {
+		if d := s.Duration(); d > 0 {
+			busy[s.Worker] += d
+		}
+	}
+	for i := range busy {
+		busy[i] /= makespan
+		if busy[i] > 1 {
+			busy[i] = 1 // overlapping spans on one worker clamp
+		}
+	}
+	return busy
+}
+
+// ProfileTable renders per-name totals as aligned "name seconds percent"
+// rows sorted by descending time, with the given total as 100% (use
+// Makespan()*workers for utilization-style tables, or the sum itself).
+func (r *Recorder) ProfileTable(total float64) string {
+	t := r.Totals()
+	type kv struct {
+		name string
+		sec  float64
+	}
+	var rows []kv
+	for n, s := range t {
+		rows = append(rows, kv{n, s})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].sec > rows[j].sec })
+	if total <= 0 {
+		for _, row := range rows {
+			total += row.sec
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-12s %12.6f s %6.2f%%\n", row.name, row.sec, row.sec/total*100)
+	}
+	return b.String()
+}

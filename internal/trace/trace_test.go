@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTotalsAndMakespan(t *testing.T) {
+	var r Recorder
+	r.Add(0, "dgemm", 0, 0, 2)
+	r.Add(1, "dgemm", 0, 1, 4)
+	r.Add(0, "panel", 1, 2, 3)
+	if got := r.Makespan(); got != 4 {
+		t.Errorf("makespan = %v, want 4", got)
+	}
+	tot := r.Totals()
+	if tot["dgemm"] != 5 || tot["panel"] != 1 {
+		t.Errorf("totals = %v", tot)
+	}
+	if n := len(r.Spans()); n != 3 {
+		t.Errorf("spans = %d", n)
+	}
+	r.Reset()
+	if r.Makespan() != 0 || len(r.Spans()) != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestIterTotals(t *testing.T) {
+	var r Recorder
+	r.Add(0, "dgemm", 0, 0, 1)
+	r.Add(0, "swap", 2, 1, 1.5)
+	r.Add(0, "swap", 2, 2, 2.25)
+	it := r.IterTotals()
+	if len(it) != 3 {
+		t.Fatalf("iters = %d, want 3", len(it))
+	}
+	if it[0]["dgemm"] != 1 {
+		t.Errorf("iter0 = %v", it[0])
+	}
+	if len(it[1]) != 0 {
+		t.Errorf("iter1 should be empty: %v", it[1])
+	}
+	if math.Abs(it[2]["swap"]-0.75) > 1e-12 {
+		t.Errorf("iter2 swap = %v, want 0.75", it[2]["swap"])
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	var r Recorder
+	r.Add(0, "dgemm", 0, 0, 5)
+	r.Add(1, "panel", 0, 0, 2.5)
+	r.Add(1, "swap", 0, 2.5, 5)
+	out := r.Gantt(10)
+	if !strings.Contains(out, "D=dgemm") {
+		t.Errorf("legend missing dgemm glyph:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "DDDDDDDDDD") {
+		t.Errorf("worker 0 row should be all D:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "PPPPP") || !strings.Contains(lines[1], "SSSSS") {
+		t.Errorf("worker 1 row should split P/S:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var r Recorder
+	if got := r.Gantt(40); got != "(empty trace)\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestGanttGlyphCollision(t *testing.T) {
+	var r Recorder
+	r.Add(0, "dgemm", 0, 0, 1)
+	r.Add(0, "dtrsm", 0, 1, 2)
+	r.Add(0, "dlaswp", 0, 2, 3)
+	out := r.Gantt(30)
+	// Distinct glyphs: D for dgemm, T for dtrsm, L for dlaswp.
+	for _, want := range []string{"D=dgemm", "T=dtrsm", "L=dlaswp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in legend:\n%s", want, out)
+		}
+	}
+}
+
+func TestGanttTinySpanStillVisible(t *testing.T) {
+	var r Recorder
+	r.Add(0, "big", 0, 0, 100)
+	r.Add(1, "tiny", 0, 50, 50.0001)
+	out := r.Gantt(20)
+	if !strings.Contains(out, "T") {
+		t.Errorf("tiny span should occupy at least one cell:\n%s", out)
+	}
+}
+
+func TestProfileTable(t *testing.T) {
+	var r Recorder
+	r.Add(0, "dgemm", 0, 0, 3)
+	r.Add(0, "swap", 0, 3, 4)
+	out := r.ProfileTable(0) // total = sum = 4
+	if !strings.Contains(out, "dgemm") || !strings.Contains(out, "75.00%") {
+		t.Errorf("profile:\n%s", out)
+	}
+	out = r.ProfileTable(8)
+	if !strings.Contains(out, "37.50%") {
+		t.Errorf("profile with explicit total:\n%s", out)
+	}
+}
+
+func TestGanttDefaultWidth(t *testing.T) {
+	var r Recorder
+	r.Add(0, "x", 0, 0, 1)
+	out := r.Gantt(0)
+	if !strings.Contains(out, strings.Repeat("X", 80)) {
+		t.Errorf("default width should be 80:\n%s", out)
+	}
+}
+
+func TestZeroLengthSpanIgnoredInRender(t *testing.T) {
+	var r Recorder
+	r.Add(0, "a", 0, 1, 1)
+	r.Add(0, "b", 0, 0, 2)
+	tot := r.Totals()
+	if _, ok := tot["a"]; ok {
+		t.Error("zero-length span should not contribute time")
+	}
+	if tot["b"] != 2 {
+		t.Errorf("b = %v", tot["b"])
+	}
+}
+
+func TestGlyphFallbacks(t *testing.T) {
+	var r Recorder
+	// Names exhausting letters force digit glyphs.
+	r.Add(0, "a", 0, 0, 1)
+	r.Add(0, "aa", 0, 1, 2)
+	r.Add(0, "", 0, 2, 3) // no letters at all -> digit
+	out := r.Gantt(30)
+	if !strings.Contains(out, "legend:") {
+		t.Fatalf("gantt failed:\n%s", out)
+	}
+	// All three names must have distinct glyphs.
+	g := glyphs([]string{"a", "aa", ""})
+	seen := map[rune]bool{}
+	for _, v := range g {
+		if seen[v] {
+			t.Fatalf("glyph collision: %v", g)
+		}
+		seen[v] = true
+	}
+}
+
+func TestWorkerUtilization(t *testing.T) {
+	var r Recorder
+	if r.WorkerUtilization() != nil {
+		t.Error("empty trace utilization")
+	}
+	r.Add(0, "x", 0, 0, 10)
+	r.Add(1, "y", 0, 0, 4)
+	u := r.WorkerUtilization()
+	if len(u) != 2 || u[0] != 1.0 || u[1] != 0.4 {
+		t.Errorf("utilization = %v", u)
+	}
+	// Overlapping spans clamp at 1.
+	r.Add(1, "z", 0, 0, 10)
+	if u := r.WorkerUtilization(); u[1] != 1.0 {
+		t.Errorf("clamp failed: %v", u)
+	}
+}

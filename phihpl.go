@@ -1,0 +1,146 @@
+// Package phihpl is a Go reproduction of "Design and Implementation of the
+// Linpack Benchmark for Single and Multi-Node Systems Based on Intel Xeon
+// Phi Coprocessor" (Heinecke et al., IPDPS 2013).
+//
+// The package exposes three layers:
+//
+//   - Real numerics: pure-Go BLAS, LU factorization with the paper's DAG
+//     dynamic scheduler, offload DGEMM with work stealing, and a
+//     distributed block-cyclic Linpack on an in-process cluster fabric —
+//     all residual-checked against the HPL acceptance test.
+//   - A simulated Knights Corner machine: a cycle-level model of the
+//     paper's DGEMM micro-kernels and calibrated cost models, on which
+//     the same schedulers are replayed in virtual time.
+//   - Experiment runners that regenerate every table and figure of the
+//     paper's evaluation (Table I–III, Figures 4, 6, 7, 9, 11).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package phihpl
+
+import (
+	"phihpl/internal/hpl"
+	"phihpl/internal/lu"
+	"phihpl/internal/matrix"
+	"phihpl/internal/offload"
+	"phihpl/internal/simlu"
+)
+
+// ResidualThreshold is the HPL pass/fail bound on the scaled residual.
+const ResidualThreshold = matrix.ResidualThreshold
+
+// SolveResult reports a real (bit-exact) Linpack solve.
+type SolveResult struct {
+	X        []float64
+	Residual float64
+	Passed   bool
+	N        int
+}
+
+// Scheduler selects the native LU driver.
+type Scheduler int
+
+const (
+	// Sequential is the blocked reference algorithm.
+	Sequential Scheduler = iota
+	// StaticLookahead is the barrier-per-stage baseline of Section IV-B.
+	StaticLookahead
+	// DynamicDAG is the paper's dynamic DAG scheduler.
+	DynamicDAG
+)
+
+// Solve generates the seeded random system A·x = b of order n, factors it
+// with the selected scheduler (NB block size, `workers` goroutine thread
+// groups) and returns the solution with its HPL residual.
+func Solve(n int, sched Scheduler, nb, workers int, seed uint64) (SolveResult, error) {
+	a, b := matrix.RandomSystem(n, seed)
+	driver := lu.Sequential
+	switch sched {
+	case StaticLookahead:
+		driver = lu.StaticLookahead
+	case DynamicDAG:
+		driver = lu.Dynamic
+	}
+	x, res, err := lu.Solve(a, b, lu.Options{NB: nb, Workers: workers}, driver)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: x, Residual: res, Passed: res < ResidualThreshold, N: n}, nil
+}
+
+// SolveDistributed runs the functional distributed Linpack on `ranks`
+// in-process nodes (1D block-cyclic columns, per-stage panel broadcasts
+// over a real message fabric) and returns the solution and residual.
+func SolveDistributed(n, nb, ranks int, seed uint64) (SolveResult, error) {
+	r, err := hpl.SolveDistributed(n, nb, ranks, seed)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: r.Residual < ResidualThreshold, N: n}, nil
+}
+
+// SolveDistributed2D runs the full HPL structure — a P×Q process grid
+// with 2D block-cyclic blocks, distributed pivot swaps, and row/column
+// broadcasts — on in-process nodes, bitwise identical to the sequential
+// algorithm.
+func SolveDistributed2D(n, nb, p, q int, seed uint64) (SolveResult, error) {
+	r, err := hpl.SolveDistributed2D(n, nb, p, q, seed)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: r.Residual < ResidualThreshold, N: n}, nil
+}
+
+// SolveHybrid2D is SolveDistributed2D with every trailing update executed
+// by the real offload engine (host/card work stealing over packed tiles) —
+// the functional composition of the paper's Sections III and V.
+func SolveHybrid2D(n, nb, p, q int, seed uint64) (SolveResult, error) {
+	r, err := hpl.SolveDistributed2DHybrid(n, nb, p, q, seed)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: r.Residual < ResidualThreshold, N: n}, nil
+}
+
+// NativeLinpackSim prices a native Linpack run of order n on the simulated
+// Knights Corner with the dynamic DAG scheduler and returns (GFLOPS,
+// efficiency vs. 60-core peak).
+func NativeLinpackSim(n int) (gflops, eff float64) {
+	r := simlu.Dynamic(simlu.Config{N: n})
+	return r.GFLOPS, r.Eff
+}
+
+// NativeLinpackStaticSim prices the static look-ahead baseline.
+func NativeLinpackStaticSim(n int) (gflops, eff float64) {
+	r := simlu.Static(simlu.Config{N: n})
+	return r.GFLOPS, r.Eff
+}
+
+// OffloadDGEMMSim prices an offload DGEMM of an m×n trailing update
+// (depth 1200) on the given number of cards and returns (GFLOPS,
+// efficiency vs. the cards' full peak).
+func OffloadDGEMMSim(m, n, cards int) (gflops, eff float64) {
+	r := offload.Simulate(m, n, offload.SimConfig{Cards: cards})
+	return r.GFLOPS, r.Eff
+}
+
+// HybridConfig configures a hybrid HPL simulation (a Table III row).
+type HybridConfig = hpl.SimConfig
+
+// Lookahead modes for HybridConfig.
+const (
+	NoLookahead        = hpl.NoLookahead
+	BasicLookahead     = hpl.BasicLookahead
+	PipelinedLookahead = hpl.PipelinedLookahead
+)
+
+// HybridResult is the outcome of a hybrid HPL simulation.
+type HybridResult = hpl.SimResult
+
+// HybridHPLSim prices a hybrid (host + coprocessor) HPL run.
+func HybridHPLSim(cfg HybridConfig) HybridResult { return hpl.Simulate(cfg) }
+
+// MaxProblemSize returns the largest NB-multiple problem size whose matrix
+// fits in the cluster's host memory — how Table III's N values follow from
+// the 64/128 GB node configurations.
+func MaxProblemSize(nodes, memGiB, nb int) int { return hpl.MaxProblemSize(nodes, memGiB, nb) }

@@ -1,0 +1,139 @@
+package phihpl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSolveAllSchedulers(t *testing.T) {
+	var ref []float64
+	for _, s := range []Scheduler{Sequential, StaticLookahead, DynamicDAG} {
+		res, err := Solve(120, s, 24, 4, 9)
+		if err != nil {
+			t.Fatalf("scheduler %v: %v", s, err)
+		}
+		if !res.Passed {
+			t.Errorf("scheduler %v: residual %g", s, res.Residual)
+		}
+		if ref == nil {
+			ref = res.X
+			continue
+		}
+		for i := range ref {
+			if res.X[i] != ref[i] {
+				t.Fatalf("scheduler %v: solution differs at %d", s, i)
+			}
+		}
+	}
+}
+
+func TestSolveDistributedFacade(t *testing.T) {
+	res, err := SolveDistributed(90, 16, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Passed || res.N != 90 {
+		t.Errorf("bad result: %+v", res)
+	}
+}
+
+func TestSimFacades(t *testing.T) {
+	if g, e := NativeLinpackSim(30000); g < 800 || e < 0.75 {
+		t.Errorf("native sim: %v GF %v eff", g, e)
+	}
+	if g, _ := NativeLinpackStaticSim(30000); g < 750 {
+		t.Errorf("static sim: %v GF", g)
+	}
+	if g, e := OffloadDGEMMSim(82000, 82000, 1); g < 900 || e < 0.84 {
+		t.Errorf("offload sim: %v GF %v eff", g, e)
+	}
+	r := HybridHPLSim(HybridConfig{N: 84000, Cards: 1, Lookahead: PipelinedLookahead})
+	if r.TFLOPS < 1.0 {
+		t.Errorf("hybrid sim: %v TF", r.TFLOPS)
+	}
+	if n := MaxProblemSize(1, 64, 1200); n < 80000 || n > 90000 {
+		t.Errorf("MaxProblemSize: %d", n)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	if len(exps) != 11 {
+		t.Fatalf("expected 11 experiments, got %d", len(exps))
+	}
+	for _, e := range exps {
+		if FindExperiment(e.ID) == nil {
+			t.Errorf("FindExperiment(%q) failed", e.ID)
+		}
+	}
+	if FindExperiment("nope") != nil {
+		t.Error("unknown id should be nil")
+	}
+}
+
+// The fast experiment runners must produce well-formed tables; the heavy
+// ones (fig6/fig9/table3) are exercised by the benchmarks.
+func TestExperimentOutputs(t *testing.T) {
+	for id, want := range map[string][]string{
+		"table1": {"Knights Corner", "Sandy Bridge EP", "1074"},
+		"table2": {"300", "944", "DGEMM"},
+		"fig4":   {"28000", "pack"},
+		"fig7":   {"legend:", "DGETRF", "dynamic"},
+		"fig11":  {"82000", "2card"},
+	} {
+		out := FindExperiment(id).Run()
+		for _, w := range want {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s output missing %q:\n%s", id, w, out)
+			}
+		}
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table3 simulates 15 cluster configurations")
+	}
+	out := Table3()
+	if strings.Count(out, "\n") < 16 {
+		t.Errorf("table3 should have 15 rows + header:\n%s", out)
+	}
+	for _, w := range []string{"pipeline, 1 card, 128GB", "825K", "10"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("table3 missing %q", w)
+		}
+	}
+}
+
+func TestFig6Fig9Outputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy simulations")
+	}
+	if out := Fig6(); !strings.Contains(out, "30000") || !strings.Contains(out, "dynamic") {
+		t.Errorf("fig6 malformed:\n%s", out)
+	}
+	if out := Fig9(); !strings.Contains(out, "saved%") || !strings.Contains(out, "pipelined") {
+		t.Errorf("fig9 malformed:\n%s", out)
+	}
+}
+
+func TestFacade2DSolvers(t *testing.T) {
+	r, err := SolveDistributed2D(72, 12, 2, 3, 8)
+	if err != nil || !r.Passed {
+		t.Fatalf("2D: %v passed=%v", err, r.Passed)
+	}
+	h, err := SolveHybrid2D(72, 12, 2, 2, 8)
+	if err != nil || !h.Passed {
+		t.Fatalf("hybrid 2D: %v passed=%v", err, h.Passed)
+	}
+	// Both must agree with the 1D driver's solution to round-off.
+	one, err := SolveDistributed(72, 12, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range one.X {
+		if one.X[i] != r.X[i] {
+			t.Fatal("1D and 2D solutions must be bitwise identical")
+		}
+	}
+}
