@@ -1,0 +1,37 @@
+# Developer entry points. Everything below is plain `go` — the Makefile
+# only names the invocations CI and reviewers should run.
+
+GO ?= go
+
+.PHONY: all build test vet race bench fuzz clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race: the numerics gate for the concurrent hot path. Runs vet plus the
+# race detector over the packages that share mutable state across
+# goroutines: the packed DGEMM fast path, the persistent worker pool, the
+# tile packers and the LU drivers built on top of them.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/blas/... ./internal/pool/... ./internal/pack/... ./internal/lu/...
+
+# bench: the packed-path vs reference comparison (GFLOPS + steady-state
+# allocation counts).
+bench:
+	$(GO) test ./internal/blas -bench 'Dgemm|RankK' -benchmem -run xxx
+
+# fuzz: a short deep-fuzz of the pack → micro-kernel → unpack chain.
+fuzz:
+	$(GO) test ./internal/blas -fuzz FuzzPackedGemm -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

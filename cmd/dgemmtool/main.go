@@ -44,6 +44,10 @@ func main() {
 		pack.Gemm(pack.PackA(a, pack.DefaultTileM), pack.PackB(b), packed, 4)
 		fmt.Printf("packed-tile kernel vs reference: maxdiff %.3g\n", matrix.MaxDiff(packed, ref))
 
+		fast := matrix.NewDense(*m, *n)
+		blas.DgemmPacked(false, false, 1, a, b, 0, fast, 4)
+		fmt.Printf("packed fast path (DgemmPacked) vs reference: maxdiff %.3g\n", matrix.MaxDiff(fast, ref))
+
 		off := matrix.NewDense(*m, *n)
 		stats := offload.Compute(a, b, off, offload.RealConfig{Mt: 64, Nt: 64, CardWorkers: 2, HostWorkers: 2})
 		fmt.Printf("offload work-stealing vs reference: maxdiff %.3g (card %d tiles, host %d tiles)\n",

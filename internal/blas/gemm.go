@@ -82,10 +82,11 @@ func dgemmRows(alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense,
 		}
 		ai := a.Row(i)
 		for p := 0; p < k; p++ {
+			// No zero-skip here: dropping the inner loop when aip == 0
+			// would swallow NaN/Inf from B (IEEE demands 0·NaN = NaN) and
+			// make the reference and packed paths diverge on special
+			// values.
 			aip := alpha * ai[p]
-			if aip == 0 {
-				continue
-			}
 			bp := b.Row(p)
 			for j, bv := range bp {
 				ci[j] += aip * bv
@@ -117,6 +118,16 @@ func transpose(x *matrix.Dense) *matrix.Dense {
 // RankKUpdate computes C -= A*B (the LU trailing update C = C - L·U) using
 // the given number of workers. It is the hot path of both native and hybrid
 // Linpack; alpha=-1, beta=1 in BLAS terms.
+//
+// Updates deep enough to amortize packing (k >= PackedMinK) go through the
+// packed-tile fast path; thin updates keep the plain row-split loop. The
+// crossover inspects k only — never m or n — because the drivers partition
+// the same mathematical update into differently-shaped calls with equal k,
+// and they must all land on the same arithmetic to stay bitwise identical.
 func RankKUpdate(a, b, c *matrix.Dense, workers int) {
+	if a.Cols >= PackedMinK {
+		DgemmPacked(false, false, -1, a, b, 1, c, workers)
+		return
+	}
 	DgemmParallel(false, false, -1, a, b, 1, c, workers)
 }

@@ -1,0 +1,137 @@
+package blas
+
+import (
+	"sync"
+
+	"phihpl/internal/matrix"
+	"phihpl/internal/pack"
+	"phihpl/internal/pool"
+)
+
+// The packed-tile fast path of Section III: operands are packed once per
+// K-block into the Knights Corner layout (A in TileM×k column-major tiles,
+// B in k×8 row-major tiles) and multiplied by the register-blocked 30×8
+// micro-kernel over an L2-sized K-blocked sequence of outer products. The
+// tile grid and the packing itself are distributed over the persistent
+// worker pool in internal/pool — no goroutines are created per call.
+//
+// Bitwise-reproducibility contract: the value of every C element depends
+// only on its row of alpha·op(A), its column of op(B), beta·C and the
+// K-block boundaries (a function of k alone) — never on the worker count,
+// the tile the element lands in, or how the m×n iteration space is
+// partitioned. The LU and HPL drivers split one mathematical trailing
+// update into many differently-shaped DGEMM calls with the *same* k, so
+// this property (plus the k-only crossover in RankKUpdate) is exactly
+// what keeps sequential, look-ahead, DAG-scheduled and distributed
+// factorizations bitwise identical to each other.
+
+// packKC is the K-block depth: each outer product packs at most packKC
+// columns of A and rows of B, sized so one a-tile strip (TileM×packKC)
+// plus one b-tile (packKC×8) stay L2-resident. It mirrors the paper's
+// k≈300–400 blocking (Table II peaks at k=300).
+const packKC = 384
+
+// PackedMinK is the crossover of RankKUpdate: trailing updates with
+// k >= PackedMinK take the packed fast path, smaller ones the plain
+// row-split loop whose lower setup cost wins for thin updates. The
+// crossover deliberately depends on k only — m and n are partitioned
+// differently by the sequential, per-panel and distributed drivers, and a
+// shape-dependent path choice would break their bitwise-identity
+// guarantees. Tests may override it (e.g. to force the reference path);
+// it is not safe to change concurrently with running kernels.
+var PackedMinK = 16
+
+// packBuf is a reusable pair of packing buffers, recycled through a
+// sync.Pool so steady-state DgemmPacked calls allocate nothing but views.
+type packBuf struct {
+	a, b []float64
+}
+
+var packBufs = sync.Pool{New: func() any { return new(packBuf) }}
+
+// take returns slices of exactly na and nb elements, growing the backing
+// buffers only when a larger shape arrives. Contents are stale; the
+// packers overwrite every element including padding.
+func (pb *packBuf) take(na, nb int) ([]float64, []float64) {
+	if cap(pb.a) < na {
+		pb.a = make([]float64, na)
+	}
+	if cap(pb.b) < nb {
+		pb.b = make([]float64, nb)
+	}
+	return pb.a[:na], pb.b[:nb]
+}
+
+// DgemmPacked computes C = alpha*op(A)*op(B) + beta*C through the
+// packed-tile parallel fast path. It is numerically equivalent to Dgemm
+// (element-wise within O(k)·ulp; the accumulation is grouped per K-block
+// instead of folded straight into C) and considerably faster for shapes
+// whose k is large enough to amortize the packing, which is the LU/HPL
+// trailing-update regime. Dgemm/DgemmParallel remain the always-available
+// reference oracle.
+func DgemmPacked(transA, transB bool, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense, workers int) {
+	m, k := opDims(a, transA)
+	k2, n := opDims(b, transB)
+	if k != k2 || c.Rows != m || c.Cols != n {
+		panic("blas: DgemmPacked dimension mismatch")
+	}
+	scaleRows(c, beta, workers)
+	if alpha == 0 || m == 0 || n == 0 || k == 0 {
+		return
+	}
+
+	aTiles := (m + pack.DefaultTileM - 1) / pack.DefaultTileM
+	bTiles := (n + pack.TileN - 1) / pack.TileN
+	pb := packBufs.Get().(*packBuf)
+	defer packBufs.Put(pb)
+
+	for k0 := 0; k0 < k; k0 += packKC {
+		kb := packKC
+		if k0+kb > k {
+			kb = k - k0
+		}
+		aData, bData := pb.take(aTiles*pack.DefaultTileM*kb, bTiles*kb*pack.TileN)
+		pa := &pack.A{M: m, K: kb, TileM: pack.DefaultTileM, Data: aData}
+		pkb := &pack.B{K: kb, N: n, Data: bData}
+
+		// Pack both panels in parallel: tiles are independent, so the a-
+		// and b-tile index spaces are fused into one work list.
+		pool.Do(aTiles+bTiles, workers, func(t int) {
+			if t < aTiles {
+				pack.PackATileOp(pa, a, transA, alpha, k0, t)
+			} else {
+				pack.PackBTileOp(pkb, b, transB, k0, t-aTiles)
+			}
+		})
+
+		// Outer product: the (aTile, bTile) grid updates disjoint TileM×8
+		// blocks of C, claimed by atomic work stealing over the pool.
+		pool.Do(aTiles*bTiles, workers, func(j int) {
+			ta, tb := j/bTiles, j%bTiles
+			rows := pa.TileRows(ta)
+			cols := pkb.TileCols(tb)
+			off := ta*pack.DefaultTileM*c.Stride + tb*pack.TileN
+			pack.MicroKernel(pa.Tile(ta), pa.TileM, kb, pkb.Tile(tb), c.Data[off:], c.Stride, rows, cols)
+		})
+	}
+}
+
+// scaleRows applies C *= beta row-wise (beta==0 stores exact zeros,
+// clearing any NaN/Inf previously in C, matching dgemmRows).
+func scaleRows(c *matrix.Dense, beta float64, workers int) {
+	if beta == 1 || c.Rows == 0 || c.Cols == 0 {
+		return
+	}
+	pool.Do(c.Rows, workers, func(i int) {
+		row := c.Row(i)
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+			return
+		}
+		for j := range row {
+			row[j] *= beta
+		}
+	})
+}

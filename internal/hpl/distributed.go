@@ -134,7 +134,7 @@ func runRank(c *Comm, n, nb, np int, seed uint64, results []DistResult, errs []e
 			blas.Dtrsm(blas.Left, blas.Lower, false, blas.Unit, 1, l11, u12)
 			if l21 != nil {
 				tail := panel.View(lo+w, 0, n-lo-w, panel.Cols)
-				blas.DgemmParallel(false, false, -1, l21, u12, 1, tail, 1)
+				blas.RankKUpdate(l21, u12, tail, 1)
 			}
 		}
 	}

@@ -326,7 +326,10 @@ func (g *grid2d) update(k int) {
 		if g.offloadUpdates {
 			offloadUpdate(l, u, blk)
 		} else {
-			blas.Dgemm(false, false, -1, l, u, 1, blk)
+			// Same crossover as the sequential Dgetrf trailing update (k
+			// decides alone), so the 2D solver stays bitwise identical to
+			// the sequential blocked algorithm.
+			blas.RankKUpdate(l, u, blk, 1)
 		}
 	}
 }

@@ -144,11 +144,13 @@ func (st *state) updatePanel(s, p, workers int) {
 	l11 := st.a.View(sLo, sLo, sw, sw)
 	u12 := st.a.View(sLo, pLo, sw, pw)
 	blas.Dtrsm(blas.Left, blas.Lower, false, blas.Unit, 1, l11, u12)
-	// DGEMM: trailing block of this panel.
+	// DGEMM: trailing block of this panel, through the packed-tile fast
+	// path (RankKUpdate routes by panel depth; every driver makes the same
+	// choice for the same stage, preserving bitwise identity).
 	if sHi < st.n {
 		l21 := st.a.View(sHi, sLo, st.n-sHi, sw)
 		tail := st.a.View(sHi, pLo, st.n-sHi, pw)
-		blas.DgemmParallel(false, false, -1, l21, u12, 1, tail, workers)
+		blas.RankKUpdate(l21, u12, tail, workers)
 	}
 }
 

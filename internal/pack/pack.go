@@ -158,31 +158,52 @@ func (p *B) Unpack(dst *matrix.Dense) {
 	}
 }
 
-// microKernel computes the rows×cols corner of c += a-tile × b-tile,
+// MicroKernel computes the rows×cols corner of c += a-tile × b-tile,
 // mirroring the register blocking of the basic kernels: for each p in
 // [0,K), broadcast column p of a (contiguous in the column-major tile) and
 // multiply by the 8-wide row p of b (contiguous in the row-major tile).
-func microKernel(aTile []float64, tileM, k int, bTile []float64, c *matrix.Dense, rows, cols int) {
-	// acc mirrors the v0..v29 accumulator registers.
-	var acc [DefaultTileM + 1][TileN]float64
-	for p := 0; p < k; p++ {
-		aCol := aTile[p*tileM : p*tileM+rows]
-		bRow := bTile[p*TileN : p*TileN+TileN]
-		for i, av := range aCol {
-			if av == 0 {
-				continue
-			}
-			for j := 0; j < TileN; j++ {
-				acc[i][j] += av * bRow[j]
-			}
-		}
-	}
-	// Update C with the register block (the "update c" epilogue whose cost
-	// is amortized by large k).
+// c is row-major with leading dimension ldc, starting at the tile's
+// top-left element.
+//
+// Every product is performed unconditionally — zero entries of a are not
+// skipped — so NaN and Inf values in b propagate into c exactly as IEEE
+// multiplication demands (0·NaN = NaN), keeping the packed path
+// element-wise consistent with the reference triple loop on special
+// values. For a fixed k the accumulation order of each element is
+// independent of the tile's position, the matrix partitioning and the
+// worker count, which is what lets every LU driver in this repository
+// stay bitwise reproducible on top of this kernel.
+//
+// The loop nest is row-at-a-time: one row of the a-tile against the whole
+// b-tile, with the row's eight partial sums held in scalar locals so the
+// compiler keeps them in registers (a 30×8 accumulator array would spill
+// to the stack and pay a load+store per multiply-add). Per element the
+// arithmetic is unchanged — ascending-p summation, then a single add into
+// c — so reordering the i/p loops does not move a single bit.
+func MicroKernel(aTile []float64, tileM, k int, bTile []float64, c []float64, ldc, rows, cols int) {
+	bt := bTile[:k*TileN]
 	for i := 0; i < rows; i++ {
-		row := c.Row(i)[:cols]
+		// s0..s7 mirror one row of the v0..v29 accumulator registers.
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		ai := i
+		for p := 0; p <= len(bt)-TileN; p += TileN {
+			av := aTile[ai]
+			ai += tileM
+			b8 := bt[p : p+TileN : p+TileN]
+			s0 += av * b8[0]
+			s1 += av * b8[1]
+			s2 += av * b8[2]
+			s3 += av * b8[3]
+			s4 += av * b8[4]
+			s5 += av * b8[5]
+			s6 += av * b8[6]
+			s7 += av * b8[7]
+		}
+		// The "update c" epilogue whose cost is amortized by large k.
+		row := c[i*ldc : i*ldc+cols]
+		sums := [TileN]float64{s0, s1, s2, s3, s4, s5, s6, s7}
 		for j := range row {
-			row[j] += acc[i][j]
+			row[j] += sums[j]
 		}
 	}
 }
@@ -205,8 +226,8 @@ func Gemm(a *A, b *B, c *matrix.Dense, workers int) {
 	run := func(j job) {
 		rows := a.TileRows(j.ta)
 		cols := b.TileCols(j.tb)
-		cv := c.View(j.ta*a.TileM, j.tb*TileN, rows, cols)
-		microKernel(a.Tile(j.ta), a.TileM, a.K, b.Tile(j.tb), cv, rows, cols)
+		off := j.ta*a.TileM*c.Stride + j.tb*TileN
+		MicroKernel(a.Tile(j.ta), a.TileM, a.K, b.Tile(j.tb), c.Data[off:], c.Stride, rows, cols)
 	}
 	if workers <= 1 || len(jobs) < 2 {
 		for _, j := range jobs {
@@ -233,6 +254,82 @@ func Gemm(a *A, b *B, c *matrix.Dense, workers int) {
 		}()
 	}
 	wg.Wait()
+}
+
+// PackATileOp packs tile t of the K-block [k0, k0+p.K) of op(src), scaled
+// by alpha, into p.Data. op(src) is src when trans is false and srcᵀ
+// otherwise; p carries the destination geometry (M, K = block depth,
+// TileM) and must have Data preallocated to Tiles()*TileM*K. Padding rows
+// of a partial bottom tile are explicitly zeroed, so p.Data may be a
+// recycled buffer with stale contents.
+//
+// Tiles are independent, which is what lets the BLAS layer pack them in
+// parallel; folding alpha into the packed panel here makes the micro-
+// kernel's per-element arithmetic (alpha·a)·b identical to the reference
+// loop's.
+func PackATileOp(p *A, src *matrix.Dense, trans bool, alpha float64, k0, t int) {
+	tile := p.Tile(t)
+	rows := p.TileRows(t)
+	base := t * p.TileM
+	tm := p.TileM
+	if rows < tm {
+		for kk := 0; kk < p.K; kk++ {
+			pad := tile[kk*tm+rows : (kk+1)*tm]
+			for i := range pad {
+				pad[i] = 0
+			}
+		}
+	}
+	if !trans {
+		for i := 0; i < rows; i++ {
+			srcRow := src.Row(base + i)[k0 : k0+p.K]
+			for kk, v := range srcRow {
+				tile[kk*tm+i] = alpha * v
+			}
+		}
+		return
+	}
+	// op(src)(i, kk) = src(k0+kk, base+i): row k0+kk of src holds the
+	// tile's k-column kk contiguously.
+	for kk := 0; kk < p.K; kk++ {
+		srcRow := src.Row(k0 + kk)[base : base+rows]
+		dst := tile[kk*tm : kk*tm+rows]
+		for i, v := range srcRow {
+			dst[i] = alpha * v
+		}
+	}
+}
+
+// PackBTileOp packs tile t of the K-block [k0, k0+p.K) of op(src) into
+// p.Data; op(src) is src when trans is false and srcᵀ otherwise. Padding
+// columns of a partial right tile are explicitly zeroed, so p.Data may be
+// a recycled buffer. Tiles are independent and safe to pack in parallel.
+func PackBTileOp(p *B, src *matrix.Dense, trans bool, k0, t int) {
+	tile := p.Tile(t)
+	cols := p.TileCols(t)
+	base := t * TileN
+	if cols < TileN {
+		for kk := 0; kk < p.K; kk++ {
+			pad := tile[kk*TileN+cols : (kk+1)*TileN]
+			for j := range pad {
+				pad[j] = 0
+			}
+		}
+	}
+	if !trans {
+		for kk := 0; kk < p.K; kk++ {
+			copy(tile[kk*TileN:kk*TileN+cols], src.Row(k0 + kk)[base:base+cols])
+		}
+		return
+	}
+	// op(src)(kk, j) = src(base+j, k0+kk): row base+j of src holds the
+	// tile's column j contiguously over kk.
+	for j := 0; j < cols; j++ {
+		srcRow := src.Row(base + j)[k0 : k0+p.K]
+		for kk, v := range srcRow {
+			tile[kk*TileN+j] = v
+		}
+	}
 }
 
 // PackedBytes returns the number of bytes moved to pack an M×K A-block and

@@ -103,9 +103,6 @@ func microKernel32(aTile []float32, tileM, k int, bTile []float32, c []float32, 
 		aCol := aTile[p*tileM : p*tileM+rows]
 		bRow := bTile[p*TileN32 : p*TileN32+TileN32]
 		for i, av := range aCol {
-			if av == 0 {
-				continue
-			}
 			for j := 0; j < TileN32; j++ {
 				acc[i][j] += av * bRow[j]
 			}

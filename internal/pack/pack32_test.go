@@ -1,4 +1,4 @@
-package pack
+package pack_test
 
 import (
 	"math"
@@ -7,6 +7,7 @@ import (
 
 	"phihpl/internal/blas"
 	"phihpl/internal/matrix"
+	"phihpl/internal/pack"
 )
 
 func rand32(n int, seed uint64) []float32 {
@@ -21,7 +22,7 @@ func rand32(n int, seed uint64) []float32 {
 func TestPackA32Layout(t *testing.T) {
 	m, k := 60, 5
 	a := rand32(m*k, 1)
-	p := PackA32(a, m, k, k, 30)
+	p := pack.PackA32(a, m, k, k, 30)
 	if p.Tiles() != 2 || p.TileRows(1) != 30 {
 		t.Fatalf("tiles=%d rows=%d", p.Tiles(), p.TileRows(1))
 	}
@@ -30,7 +31,7 @@ func TestPackA32Layout(t *testing.T) {
 		t.Error("layout violated")
 	}
 	// Default tile height.
-	if PackA32(a, m, k, k, 0).TileM != DefaultTileM {
+	if pack.PackA32(a, m, k, k, 0).TileM != pack.DefaultTileM {
 		t.Error("default tileM")
 	}
 }
@@ -38,7 +39,7 @@ func TestPackA32Layout(t *testing.T) {
 func TestPackB32Layout(t *testing.T) {
 	k, n := 6, 40
 	b := rand32(k*n, 2)
-	p := PackB32(b, k, n, n)
+	p := pack.PackB32(b, k, n, n)
 	if p.Tiles() != 3 {
 		t.Fatalf("tiles = %d", p.Tiles())
 	}
@@ -46,7 +47,7 @@ func TestPackB32Layout(t *testing.T) {
 		t.Errorf("last tile cols = %d, want 8", p.TileCols(2))
 	}
 	// Row-major within tile 1: element (k=3, j=20).
-	if p.Tile(1)[3*TileN32+4] != b[3*n+20] {
+	if p.Tile(1)[3*pack.TileN32+4] != b[3*n+20] {
 		t.Error("layout violated")
 	}
 }
@@ -60,7 +61,7 @@ func TestGemm32MatchesSgemm(t *testing.T) {
 		got := rand32(tc.m*tc.n, 9)
 		want := append([]float32(nil), got...)
 
-		Gemm32(PackA32(a, tc.m, tc.k, tc.k, 0), PackB32(b, tc.k, tc.n, tc.n), got, tc.n, 2)
+		pack.Gemm32(pack.PackA32(a, tc.m, tc.k, tc.k, 0), pack.PackB32(b, tc.k, tc.n, tc.n), got, tc.n, 2)
 		blas.Sgemm(tc.m, tc.n, tc.k, 1, a, tc.k, b, tc.n, 1, want, tc.n)
 
 		for i := range want {
@@ -72,23 +73,23 @@ func TestGemm32MatchesSgemm(t *testing.T) {
 }
 
 func TestGemm32Panics(t *testing.T) {
-	a := PackA32(rand32(12, 1), 4, 3, 3, 0)
-	b := PackB32(rand32(8, 2), 2, 4, 4) // K mismatch
+	a := pack.PackA32(rand32(12, 1), 4, 3, 3, 0)
+	b := pack.PackB32(rand32(8, 2), 2, 4, 4) // K mismatch
 	func() {
 		defer func() {
 			if recover() == nil {
 				t.Error("expected K mismatch panic")
 			}
 		}()
-		Gemm32(a, b, make([]float32, 16), 4, 1)
+		pack.Gemm32(a, b, make([]float32, 16), 4, 1)
 	}()
-	b2 := PackB32(rand32(12, 2), 3, 4, 4)
+	b2 := pack.PackB32(rand32(12, 2), 3, 4, 4)
 	defer func() {
 		if recover() == nil {
 			t.Error("expected ldc panic")
 		}
 	}()
-	Gemm32(a, b2, make([]float32, 16), 2, 1)
+	pack.Gemm32(a, b2, make([]float32, 16), 2, 1)
 }
 
 func TestGemm32Property(t *testing.T) {
@@ -99,7 +100,7 @@ func TestGemm32Property(t *testing.T) {
 		a := rand32(m*k, seed)
 		b := rand32(k*n, seed^5)
 		got := make([]float32, m*n)
-		Gemm32(PackA32(a, m, k, k, 0), PackB32(b, k, n, n), got, n, 3)
+		pack.Gemm32(pack.PackA32(a, m, k, k, 0), pack.PackB32(b, k, n, n), got, n, 3)
 		want := make([]float32, m*n)
 		blas.Sgemm(m, n, k, 1, a, k, b, n, 0, want, n)
 		for i := range want {

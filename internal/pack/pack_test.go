@@ -1,4 +1,4 @@
-package pack
+package pack_test
 
 import (
 	"testing"
@@ -6,12 +6,13 @@ import (
 
 	"phihpl/internal/blas"
 	"phihpl/internal/matrix"
+	"phihpl/internal/pack"
 )
 
 func TestPackARoundTrip(t *testing.T) {
 	for _, m := range []int{1, 29, 30, 31, 60, 95} {
 		a := matrix.RandomGeneral(m, 17, uint64(m))
-		p := PackA(a, DefaultTileM)
+		p := pack.PackA(a, pack.DefaultTileM)
 		back := matrix.NewDense(m, 17)
 		p.Unpack(back)
 		if !matrix.Equal(a, back) {
@@ -22,7 +23,7 @@ func TestPackARoundTrip(t *testing.T) {
 
 func TestPackATileLayoutColumnMajor(t *testing.T) {
 	a := matrix.RandomGeneral(60, 5, 3)
-	p := PackA(a, 30)
+	p := pack.PackA(a, 30)
 	// Element (i,k) of tile t lives at Tile(t)[k*30 + i-30t].
 	tile1 := p.Tile(1)
 	if tile1[2*30+5] != a.At(35, 2) {
@@ -38,7 +39,7 @@ func TestPackATileLayoutColumnMajor(t *testing.T) {
 
 func TestPackAPartialTilePadded(t *testing.T) {
 	a := matrix.RandomGeneral(31, 4, 9) // 30 + 1: second tile has 1 real row
-	p := PackA(a, 30)
+	p := pack.PackA(a, 30)
 	if p.Tiles() != 2 || p.TileRows(1) != 1 {
 		t.Fatalf("tiles=%d rows=%d", p.Tiles(), p.TileRows(1))
 	}
@@ -56,11 +57,11 @@ func TestPackAPartialTilePadded(t *testing.T) {
 }
 
 func TestPackADefaultTileM(t *testing.T) {
-	p := PackA(matrix.RandomGeneral(10, 3, 1), 0)
-	if p.TileM != DefaultTileM {
+	p := pack.PackA(matrix.RandomGeneral(10, 3, 1), 0)
+	if p.TileM != pack.DefaultTileM {
 		t.Errorf("default tileM = %d", p.TileM)
 	}
-	p31 := PackA(matrix.RandomGeneral(62, 3, 1), KernelOneTileM)
+	p31 := pack.PackA(matrix.RandomGeneral(62, 3, 1), pack.KernelOneTileM)
 	if p31.Tiles() != 2 {
 		t.Errorf("31-row tiles = %d", p31.Tiles())
 	}
@@ -69,7 +70,7 @@ func TestPackADefaultTileM(t *testing.T) {
 func TestPackBRoundTrip(t *testing.T) {
 	for _, n := range []int{1, 7, 8, 9, 16, 37} {
 		b := matrix.RandomGeneral(13, n, uint64(n))
-		p := PackB(b)
+		p := pack.PackB(b)
 		back := matrix.NewDense(13, n)
 		p.Unpack(back)
 		if !matrix.Equal(b, back) {
@@ -80,7 +81,7 @@ func TestPackBRoundTrip(t *testing.T) {
 
 func TestPackBTileLayoutRowMajor(t *testing.T) {
 	b := matrix.RandomGeneral(6, 16, 4)
-	p := PackB(b)
+	p := pack.PackB(b)
 	// Element (k,j) of tile t at Tile(t)[k*8 + j-8t].
 	tile1 := p.Tile(1)
 	if tile1[3*8+2] != b.At(3, 10) {
@@ -92,7 +93,7 @@ func TestPackBTileLayoutRowMajor(t *testing.T) {
 }
 
 func TestUnpackPanics(t *testing.T) {
-	pa := PackA(matrix.NewDense(4, 4), 30)
+	pa := pack.PackA(matrix.NewDense(4, 4), 30)
 	func() {
 		defer func() {
 			if recover() == nil {
@@ -101,7 +102,7 @@ func TestUnpackPanics(t *testing.T) {
 		}()
 		pa.Unpack(matrix.NewDense(5, 4))
 	}()
-	pb := PackB(matrix.NewDense(4, 4))
+	pb := pack.PackB(matrix.NewDense(4, 4))
 	func() {
 		defer func() {
 			if recover() == nil {
@@ -126,7 +127,7 @@ func TestGemmMatchesDgemm(t *testing.T) {
 		c0 := matrix.RandomGeneral(tc.m, tc.n, 99)
 
 		got := c0.Clone()
-		Gemm(PackA(a, DefaultTileM), PackB(b), got, 1)
+		pack.Gemm(pack.PackA(a, pack.DefaultTileM), pack.PackB(b), got, 1)
 
 		want := c0.Clone()
 		blas.Dgemm(false, false, 1, a, b, 1, want)
@@ -141,9 +142,9 @@ func TestGemmParallelMatchesSerial(t *testing.T) {
 	b := matrix.RandomGeneral(40, 77, 2)
 	c0 := matrix.RandomGeneral(123, 77, 3)
 	got := c0.Clone()
-	Gemm(PackA(a, DefaultTileM), PackB(b), got, 8)
+	pack.Gemm(pack.PackA(a, pack.DefaultTileM), pack.PackB(b), got, 8)
 	want := c0.Clone()
-	Gemm(PackA(a, DefaultTileM), PackB(b), want, 1)
+	pack.Gemm(pack.PackA(a, pack.DefaultTileM), pack.PackB(b), want, 1)
 	if d := matrix.MaxDiff(got, want); d > 1e-12 {
 		t.Errorf("maxdiff %g", d)
 	}
@@ -155,7 +156,7 @@ func TestGemmKernelOneTileHeight(t *testing.T) {
 	b := matrix.RandomGeneral(20, 24, 6)
 	c0 := matrix.NewDense(93, 24)
 	got := c0.Clone()
-	Gemm(PackA(a, KernelOneTileM), PackB(b), got, 2)
+	pack.Gemm(pack.PackA(a, pack.KernelOneTileM), pack.PackB(b), got, 2)
 	want := c0.Clone()
 	blas.Dgemm(false, false, 1, a, b, 1, want)
 	if d := matrix.MaxDiff(got, want); d > 1e-12 {
@@ -164,19 +165,19 @@ func TestGemmKernelOneTileHeight(t *testing.T) {
 }
 
 func TestGemmPanics(t *testing.T) {
-	a := PackA(matrix.NewDense(4, 3), 30)
-	b := PackB(matrix.NewDense(5, 4)) // K mismatch: 3 vs 5
+	a := pack.PackA(matrix.NewDense(4, 3), 30)
+	b := pack.PackB(matrix.NewDense(5, 4)) // K mismatch: 3 vs 5
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic")
 		}
 	}()
-	Gemm(a, b, matrix.NewDense(4, 4), 1)
+	pack.Gemm(a, b, matrix.NewDense(4, 4), 1)
 }
 
 func TestPackedBytes(t *testing.T) {
 	// Packing reads and writes both blocks: 2*8*(mk+kn) bytes.
-	if got := PackedBytes(10, 20, 30); got != 2*8*(300+600) {
+	if got := pack.PackedBytes(10, 20, 30); got != 2*8*(300+600) {
 		t.Errorf("PackedBytes = %v", got)
 	}
 }
@@ -189,13 +190,13 @@ func TestPackRoundTripProperty(t *testing.T) {
 		k := 1 + int(kRaw)%20
 		a := matrix.RandomGeneral(m, k, seed)
 		backA := matrix.NewDense(m, k)
-		PackA(a, DefaultTileM).Unpack(backA)
+		pack.PackA(a, pack.DefaultTileM).Unpack(backA)
 		if !matrix.Equal(a, backA) {
 			return false
 		}
 		b := matrix.RandomGeneral(k, n, seed^1)
 		backB := matrix.NewDense(k, n)
-		PackB(b).Unpack(backB)
+		pack.PackB(b).Unpack(backB)
 		return matrix.Equal(b, backB)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
@@ -212,7 +213,7 @@ func TestGemmEquivalenceProperty(t *testing.T) {
 		a := matrix.RandomGeneral(m, k, seed)
 		b := matrix.RandomGeneral(k, n, seed^2)
 		got := matrix.NewDense(m, n)
-		Gemm(PackA(a, DefaultTileM), PackB(b), got, 3)
+		pack.Gemm(pack.PackA(a, pack.DefaultTileM), pack.PackB(b), got, 3)
 		want := matrix.NewDense(m, n)
 		blas.Dgemm(false, false, 1, a, b, 1, want)
 		return matrix.MaxDiff(got, want) < 1e-11

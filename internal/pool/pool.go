@@ -1,0 +1,100 @@
+// Package pool provides a persistent, package-level worker pool for the
+// compute kernels. The paper's DGEMM keeps its thread team alive across
+// calls (threads are pinned once at startup and park between outer
+// products); spawning fresh goroutines per DGEMM invocation — as the
+// original DgemmParallel did — costs a scheduler round-trip on every
+// trailing update. Here the workers are started once, on first use, and
+// every parallel region afterwards is a channel send plus an atomic
+// work-stealing counter: zero goroutine creation in the steady state.
+//
+// Callers always participate in their own region (the calling goroutine
+// executes jobs alongside the pool), so a saturated pool degrades to
+// serial execution instead of deadlocking, and nested or concurrent
+// regions from independent callers interleave safely: pool workers never
+// block on the pool themselves.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	once   sync.Once
+	submit chan func()
+	nproc  int
+)
+
+// ensure starts the long-lived workers exactly once.
+func ensure() {
+	once.Do(func() {
+		nproc = runtime.GOMAXPROCS(0)
+		submit = make(chan func(), 4*nproc)
+		for i := 0; i < nproc; i++ {
+			go func() {
+				for f := range submit {
+					f()
+				}
+			}()
+		}
+	})
+}
+
+// Size returns the number of persistent workers (GOMAXPROCS at first use).
+func Size() int {
+	ensure()
+	return nproc
+}
+
+// Do runs fn(i) for every i in [0,n), distributing the indices across the
+// calling goroutine plus up to workers-1 pool workers via an atomic
+// work-stealing counter. It returns when every index has been processed.
+//
+// workers <= 1 (or n <= 1) runs serially on the caller with no
+// synchronization at all. If the pool's submit queue is full — only
+// possible when many independent regions are in flight — the remaining
+// helper slots are dropped rather than blocked on: the caller still
+// drains the whole index space itself, so progress is guaranteed.
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	ensure()
+	var next atomic.Int64
+	loop := func() {
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(n) {
+				return
+			}
+			fn(int(i))
+		}
+	}
+	var wg sync.WaitGroup
+	for h := 0; h < workers-1; h++ {
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			loop()
+		}
+		select {
+		case submit <- task:
+		default:
+			// Queue full: run with fewer helpers instead of blocking.
+			wg.Done()
+			h = workers // stop submitting
+		}
+	}
+	loop()
+	wg.Wait()
+}
