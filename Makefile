@@ -3,9 +3,13 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz clean
+.PHONY: all build test vet race bench fuzz check clean
 
 all: vet test
+
+# check: the full pre-merge gate — build, vet, the whole test suite, and
+# the race detector over every package with cross-goroutine mutable state.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -19,10 +23,11 @@ vet:
 # race: the numerics gate for the concurrent hot path. Runs vet plus the
 # race detector over the packages that share mutable state across
 # goroutines: the packed DGEMM fast path, the persistent worker pool, the
-# tile packers and the LU drivers built on top of them.
+# tile packers, the LU drivers built on top of them, and the fault-path
+# packages (message fabric + fault-tolerant distributed solver).
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/blas/... ./internal/pool/... ./internal/pack/... ./internal/lu/...
+	$(GO) test -race ./internal/blas/... ./internal/pool/... ./internal/pack/... ./internal/lu/... ./internal/cluster/... ./internal/hpl/... ./internal/fault/...
 
 # bench: the packed-path vs reference comparison (GFLOPS + steady-state
 # allocation counts).

@@ -6,16 +6,20 @@
 // Usage:
 //
 //	hpl -real -n 2000 -nb 64 -ranks 4          # real distributed solve
+//	hpl -n 960 -nb 64 -p 2 -q 2 -faults 'seed=7;drop=0.02;crash=3@2'
+//	                                           # fault-tolerant solve under injection
 //	hpl -n 84000 -cards 1 -mode pipelined      # hybrid projection
 //	hpl -n 825600 -p 10 -q 10 -cards 1 -mode pipelined
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"phihpl"
 	"phihpl/internal/hplio"
@@ -34,8 +38,19 @@ func main() {
 		mem   = flag.Int("mem", 64, "host memory per node (GiB)")
 		mode  = flag.String("mode", "pipelined", "look-ahead: none | basic | pipelined")
 		seed  = flag.Uint64("seed", 1, "matrix seed for -real")
+
+		faults   = flag.String("faults", "", "fault-injection plan for a fault-tolerant real solve on the P×Q grid, e.g. 'seed=7;drop=0.02;crash=3@2;scrub=1@4' ('' with -ft runs the FT solver fault-free)")
+		ft       = flag.Bool("ft", false, "run the fault-tolerant solver even with no -faults plan")
+		ftTime   = flag.Duration("ft-timeout", 0, "per-operation timeout before a rank is declared failed (0 = default)")
+		ckEvery  = flag.Int("ckpt-every", 0, "checkpoint + ABFT verification period in panel stages (0 = default)")
+		restarts = flag.Int("max-restarts", 0, "rollback attempts before giving up (0 = default)")
 	)
 	flag.Parse()
+
+	if *faults != "" || *ft {
+		runFaultTolerant(*n, *nb, *p, *q, *seed, *faults, *ftTime, *ckEvery, *restarts)
+		return
+	}
 
 	if *dat != "" {
 		var r io.Reader
@@ -98,6 +113,57 @@ func main() {
 		*mode, la.N, maxInt(la.NB, 1200), la.P, la.Q, r.Seconds, r.TFLOPS*1000)
 	fmt.Printf("efficiency: %.1f%% of node peak, coprocessor idle: %.1f%%\n",
 		r.Eff*100, r.CardIdleFrac*100)
+}
+
+// runFaultTolerant drives the checksum-protected distributed solver under
+// an optional injected fault plan and reports the recovery activity. An
+// unrecoverable run exits non-zero with the structured fault report
+// instead of hanging or printing a bogus residual.
+func runFaultTolerant(n, nb, p, q int, seed uint64, spec string, timeout time.Duration, ckptEvery, maxRestarts int) {
+	if nb == 0 {
+		nb = 64
+	}
+	cfg := phihpl.FTConfig{Timeout: timeout, CheckpointEvery: ckptEvery, MaxRestarts: maxRestarts}
+	if spec != "" {
+		plan, err := phihpl.ParseFaultPlan(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+		cfg.Plan = plan
+	}
+	res, err := phihpl.SolveFaultTolerant2D(n, nb, p, q, seed, cfg)
+	if err != nil {
+		var fe *phihpl.FaultError
+		if errors.As(err, &fe) {
+			fmt.Fprintf(os.Stderr, "UNRECOVERABLE after %d restart(s), reached stage %d: %v\n",
+				fe.Restarts, fe.Iter, fe.Err)
+			for _, st := range fe.Profile {
+				fmt.Fprintf(os.Stderr, "  stage %-4d %.6fs\n", st.Stage, st.Seconds)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+		os.Exit(1)
+	}
+	status := "PASSED"
+	if !res.Passed {
+		status = "FAILED"
+	}
+	fmt.Printf("N=%d NB=%d grid=%dx%d faults=%q\n", n, nb, p, q, spec)
+	fmt.Printf("||Ax-b||_oo/(eps*(||A||_oo*||x||_oo+||b||_oo)*N) = %10.7f ...... %s\n",
+		res.Residual, status)
+	if ftst := res.FT; ftst != nil {
+		fmt.Printf("recovery: restarts=%d checkpoints=%d reconstructions=%d chk-rebuilds=%d resends=%d checksum-rejects=%d\n",
+			ftst.Restarts, ftst.Checkpoints, ftst.Reconstructions, ftst.ChecksumRebuilds,
+			ftst.Resends, ftst.ChecksumRejects)
+		fmt.Printf("injected:  drops=%d dups=%d delays=%d corrupts=%d crashes=%d stalls=%d scrubs=%d\n",
+			ftst.Faults.Drops, ftst.Faults.Dups, ftst.Faults.Delays, ftst.Faults.Corrupts,
+			ftst.Faults.Crashes, ftst.Faults.Stalls, ftst.Faults.Scrubs)
+	}
+	if !res.Passed {
+		os.Exit(1)
+	}
 }
 
 func maxInt(a, b int) int {

@@ -2,13 +2,45 @@ package blas
 
 import (
 	"errors"
+	"fmt"
+	"math"
 
 	"phihpl/internal/matrix"
 )
 
 // ErrSingular is returned when a zero pivot is encountered during
 // factorization; the factor content up to that column is still valid.
+// Match with errors.Is; errors.As against *SingularError recovers the
+// offending column.
 var ErrSingular = errors.New("blas: matrix is singular to working precision")
+
+// minNormal is the smallest positive normal float64. A pivot below it is
+// degenerate: dividing by it overflows the multipliers, so the column is
+// treated exactly like a zero pivot.
+const minNormal = 2.2250738585072014e-308
+
+// SingularError reports the first column whose pivot was zero or
+// subnormal. It matches ErrSingular under errors.Is.
+type SingularError struct {
+	Col int // absolute column index within the factored matrix
+}
+
+func (e *SingularError) Error() string {
+	return fmt.Sprintf("blas: matrix is singular to working precision (zero/subnormal pivot in column %d)", e.Col)
+}
+
+// Is makes errors.Is(err, ErrSingular) succeed.
+func (e *SingularError) Is(target error) bool { return target == ErrSingular }
+
+// OffsetSingular rebases a SingularError's column by off (panel-relative
+// to absolute); other errors pass through unchanged.
+func OffsetSingular(err error, off int) error {
+	var se *SingularError
+	if errors.As(err, &se) && off != 0 {
+		return &SingularError{Col: se.Col + off}
+	}
+	return err
+}
 
 // Dgetf2 factors the m×n panel A = P·L·U with partial pivoting using
 // unblocked right-looking elimination (the panel-factorization kernel,
@@ -33,9 +65,11 @@ func Dgetf2(a *matrix.Dense, piv []int) error {
 	for k := 0; k < mn; k++ {
 		p := IdamaxCol(a, k, k)
 		piv[k] = p
-		if a.At(p, k) == 0 {
+		if pv := a.At(p, k); pv == 0 || math.Abs(pv) < minNormal {
+			// Zero or subnormal pivot: dividing would produce Inf/garbage
+			// multipliers, so skip the column and report it.
 			if err == nil {
-				err = ErrSingular
+				err = &SingularError{Col: k}
 			}
 			continue
 		}
@@ -102,7 +136,7 @@ func Dgetrf(a *matrix.Dense, piv []int, nb int) error {
 		panel := a.View(j, j, m-j, jb)
 		localPiv := make([]int, jb)
 		if err := Dgetf2(panel, localPiv); err != nil && firstErr == nil {
-			firstErr = err
+			firstErr = OffsetSingular(err, j)
 		}
 		// Record global pivots and apply the swaps to the columns outside
 		// the panel (left of j and right of j+jb).

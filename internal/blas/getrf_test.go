@@ -326,3 +326,72 @@ func TestDgetrfBlockInvarianceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSingularErrorReportsColumn(t *testing.T) {
+	// Column 2 becomes a zero pivot: it is a copy of column 1.
+	a := matrix.NewDense(4, 4)
+	vals := [][]float64{
+		{2, 1, 1, 3},
+		{4, 3, 3, 1},
+		{8, 7, 7, 9},
+		{6, 7, 7, 8},
+	}
+	for i := range vals {
+		copy(a.Row(i), vals[i])
+	}
+	err := Dgetf2(a.Clone(), make([]int, 4))
+	var se *SingularError
+	if !errors.As(err, &se) {
+		t.Fatalf("want SingularError, got %v", err)
+	}
+	if se.Col != 2 {
+		t.Errorf("offending column = %d, want 2", se.Col)
+	}
+	if !errors.Is(err, ErrSingular) {
+		t.Error("SingularError must match ErrSingular")
+	}
+	// The blocked driver must report the same absolute column.
+	err = Dgetrf(a.Clone(), make([]int, 4), 2)
+	if !errors.As(err, &se) || se.Col != 2 {
+		t.Errorf("Dgetrf column = %v, want 2", err)
+	}
+}
+
+func TestSubnormalPivotIsDegenerate(t *testing.T) {
+	// All candidate pivots in column 0 are subnormal: dividing by them
+	// would overflow, so the column must be treated as singular.
+	a := matrix.NewDense(2, 2)
+	a.Set(0, 0, 1e-310)
+	a.Set(1, 0, 2e-310)
+	a.Set(0, 1, 1)
+	a.Set(1, 1, 2)
+	err := Dgetf2(a, make([]int, 2))
+	var se *SingularError
+	if !errors.As(err, &se) || se.Col != 0 {
+		t.Fatalf("want SingularError{Col: 0}, got %v", err)
+	}
+	// No multiplier may have been formed by dividing by the subnormal.
+	if v := a.At(1, 0); v != 2e-310 {
+		t.Errorf("column scaled despite degenerate pivot: %v", v)
+	}
+}
+
+func TestRecursiveSingularColumnOffset(t *testing.T) {
+	// Duplicate columns force a zero pivot past the recursion split; the
+	// reported column must be absolute, matching the unblocked kernel.
+	n := 24
+	a := matrix.RandomGeneral(n, n, 77)
+	dup := 17
+	for i := 0; i < n; i++ {
+		a.Set(i, dup, a.At(i, dup-1))
+	}
+	errA := Dgetf2(a.Clone(), make([]int, n))
+	errB := Dgetf2Recursive(a.Clone(), make([]int, n))
+	var sa, sb *SingularError
+	if !errors.As(errA, &sa) || !errors.As(errB, &sb) {
+		t.Fatalf("both kernels must report SingularError: %v / %v", errA, errB)
+	}
+	if sa.Col != sb.Col {
+		t.Errorf("recursive column %d != unblocked column %d", sb.Col, sa.Col)
+	}
+}

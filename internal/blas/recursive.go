@@ -64,7 +64,7 @@ func dgetf2Rec(a *matrix.Dense, piv []int) error {
 	tail := a.View(half, half, m-half, n-half)
 	tailPiv := piv[half:mn]
 	if err := dgetf2Rec(tail, tailPiv); err != nil && firstErr == nil {
-		firstErr = err
+		firstErr = OffsetSingular(err, half)
 	}
 	// Its swaps were applied within the tail view; replay them on the
 	// left half's rows below the split and rebase the pivot indices.

@@ -1,52 +1,80 @@
 package cluster
 
 import (
+	"errors"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
+	"phihpl/internal/fault"
 	"phihpl/internal/machine"
+	"phihpl/internal/testutil"
 )
 
 func TestSendRecv(t *testing.T) {
+	defer testutil.NoLeaks(t)()
 	w := NewWorld(2, 4)
-	w.Run(func(c *Comm) {
+	err := w.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, 7, []float64{1, 2}, []int{3})
-		} else {
-			m := c.Recv(0, 7)
-			if m.Src != 0 || len(m.F) != 2 || m.F[1] != 2 || m.I[0] != 3 {
-				t.Errorf("bad message: %+v", m)
-			}
+			return c.Send(1, 7, []float64{1, 2}, []int{3})
 		}
+		m, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if m.Src != 0 || len(m.F) != 2 || m.F[1] != 2 || m.I[0] != 3 {
+			t.Errorf("bad message: %+v", m)
+		}
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestSendCopiesPayload(t *testing.T) {
 	w := NewWorld(2, 4)
 	buf := []float64{1}
-	w.Run(func(c *Comm) {
+	err := w.Run(func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, 1, buf, nil)
-			buf[0] = 99 // mutate after send: receiver must not see it
-		} else {
-			m := c.Recv(0, 1)
-			if m.F[0] != 1 {
-				t.Errorf("payload not copied: %v", m.F[0])
+			if err := c.Send(1, 1, buf, nil); err != nil {
+				return err
 			}
+			buf[0] = 99 // mutate after send: receiver must not see it
+			return nil
 		}
+		m, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		if m.F[0] != 1 {
+			t.Errorf("payload not copied: %v", m.F[0])
+		}
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestBcast(t *testing.T) {
 	w := NewWorld(4, 4)
 	var mu sync.Mutex
 	got := map[int]float64{}
-	w.Run(func(c *Comm) {
-		m := c.Bcast(2, 5, []float64{42}, nil)
+	err := w.Run(func(c *Comm) error {
+		m, err := c.Bcast(2, 5, []float64{42}, nil)
+		if err != nil {
+			return err
+		}
 		mu.Lock()
 		got[c.Rank()] = m.F[0]
 		mu.Unlock()
+		return nil
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for r := 0; r < 4; r++ {
 		if got[r] != 42 {
 			t.Errorf("rank %d got %v", r, got[r])
@@ -58,11 +86,13 @@ func TestBarrier(t *testing.T) {
 	w := NewWorld(8, 4)
 	var mu sync.Mutex
 	phase := map[int]int{}
-	w.Run(func(c *Comm) {
+	err := w.Run(func(c *Comm) error {
 		mu.Lock()
 		phase[c.Rank()] = 1
 		mu.Unlock()
-		c.Barrier()
+		if err := c.Barrier(); err != nil {
+			return err
+		}
 		// After the barrier, every rank must have reached phase 1.
 		mu.Lock()
 		for r := 0; r < 8; r++ {
@@ -71,38 +101,46 @@ func TestBarrier(t *testing.T) {
 			}
 		}
 		mu.Unlock()
-		c.Barrier() // reusable
+		return c.Barrier() // reusable
 	})
-}
-
-func TestTagMismatchPanics(t *testing.T) {
-	w := NewWorld(2, 4)
-	done := make(chan bool, 1)
-	w.Run(func(c *Comm) {
-		if c.Rank() == 0 {
-			c.Send(1, 1, nil, nil)
-		} else {
-			defer func() {
-				done <- recover() != nil
-			}()
-			c.Recv(0, 2)
-		}
-	})
-	if !<-done {
-		t.Error("expected tag-mismatch panic")
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
-func TestInvalidRankPanics(t *testing.T) {
-	w := NewWorld(1, 1)
-	w.Run(func(c *Comm) {
-		defer func() {
-			if recover() == nil {
-				t.Error("expected panic")
-			}
-		}()
-		c.Send(5, 0, nil, nil)
+func TestTagMismatchError(t *testing.T) {
+	w := NewWorld(2, 4)
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 1, nil, nil)
+		}
+		_, err := c.Recv(0, 2)
+		return err
 	})
+	if !errors.Is(err, ErrTagMismatch) {
+		t.Errorf("want ErrTagMismatch, got %v", err)
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) || oe.Rank != 1 || oe.Peer != 0 {
+		t.Errorf("OpError details wrong: %+v", oe)
+	}
+}
+
+func TestInvalidRankError(t *testing.T) {
+	w := NewWorld(1, 1)
+	err := w.Run(func(c *Comm) error {
+		if err := c.Send(5, 0, nil, nil); !errors.Is(err, ErrInvalidRank) {
+			t.Errorf("Send to invalid rank: want ErrInvalidRank, got %v", err)
+		}
+		_, err := c.Recv(-1, 0)
+		if !errors.Is(err, ErrInvalidRank) {
+			t.Errorf("Recv from invalid rank: want ErrInvalidRank, got %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestNewWorldPanics(t *testing.T) {
@@ -114,9 +152,295 @@ func TestNewWorldPanics(t *testing.T) {
 	NewWorld(0, 1)
 }
 
+func TestRunRecoversPanicIntoError(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	w := NewWorldOpts(3, Options{Timeout: 2 * time.Second})
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		// The other ranks block on the dying rank: they must unblock with
+		// a typed error, not deadlock.
+		_, err := c.Recv(1, 9)
+		return err
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *RankPanicError
+	if !errors.As(err, &pe) || pe.Rank != 1 {
+		t.Errorf("expected RankPanicError for rank 1, got %v", err)
+	}
+	if !errors.Is(err, ErrRankFailed) {
+		t.Error("panic should match ErrRankFailed")
+	}
+	if !strings.Contains(pe.Error(), "boom") {
+		t.Errorf("panic value lost: %v", pe)
+	}
+}
+
+func TestRecvTimeout(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	w := NewWorldOpts(2, Options{Timeout: 30 * time.Millisecond})
+	start := time.Now()
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return nil // never sends
+		}
+		_, err := c.Recv(0, 1)
+		return err
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("want ErrTimeout, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("timeout took %v", d)
+	}
+}
+
+func TestBarrierTimeout(t *testing.T) {
+	w := NewWorldOpts(2, Options{Timeout: 30 * time.Millisecond})
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			return nil // never arrives
+		}
+		return c.Barrier()
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestBarrierRankFailure(t *testing.T) {
+	w := NewWorldOpts(3, Options{Timeout: 5 * time.Second})
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 2 {
+			return errors.New("deliberate failure")
+		}
+		return c.Barrier()
+	})
+	// The failed rank's own error plus the broken-barrier errors.
+	if err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("missing rank error: %v", err)
+	}
+	if !errors.Is(err, ErrRankFailed) && !errors.Is(err, ErrAborted) {
+		t.Errorf("peers should see ErrRankFailed/ErrAborted: %v", err)
+	}
+}
+
+func TestRecvFromFailedRankDrainsQueuedData(t *testing.T) {
+	// A rank that sends, then dies: its queued messages must still be
+	// receivable before ErrRankFailed surfaces.
+	w := NewWorldOpts(2, Options{Timeout: 2 * time.Second})
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, []float64{7}, nil); err != nil {
+				return err
+			}
+			return errors.New("rank 0 dies after sending")
+		}
+		time.Sleep(20 * time.Millisecond) // let rank 0 die first
+		m, err := c.Recv(0, 1)
+		if err != nil {
+			t.Errorf("queued message lost: %v", err)
+			return nil
+		}
+		if m.F[0] != 7 {
+			t.Errorf("bad payload %v", m.F)
+		}
+		// Next receive finds the link dead.
+		if _, err := c.Recv(0, 2); !errors.Is(err, ErrRankFailed) && !errors.Is(err, ErrAborted) {
+			t.Errorf("want ErrRankFailed/ErrAborted, got %v", err)
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 0 dies") {
+		t.Fatalf("expected rank 0's error: %v", err)
+	}
+}
+
 func TestCyclicOwner(t *testing.T) {
 	if CyclicOwner(0, 3) != 0 || CyclicOwner(4, 3) != 1 || CyclicOwner(5, 3) != 2 {
 		t.Error("cyclic ownership wrong")
+	}
+}
+
+// --- chaos-mode transport ------------------------------------------------
+
+func lossyRing(t *testing.T, plan *fault.Plan, rounds int) Stats {
+	t.Helper()
+	const n = 4
+	in := fault.NewInjector(plan)
+	w := NewWorldOpts(n, Options{Timeout: 5 * time.Second, Injector: in})
+	err := w.Run(func(c *Comm) error {
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() + n - 1) % n
+		for r := 0; r < rounds; r++ {
+			if err := c.Send(next, 100+r, []float64{float64(c.Rank()*1000 + r)}, []int{r}); err != nil {
+				return err
+			}
+			m, err := c.Recv(prev, 100+r)
+			if err != nil {
+				return err
+			}
+			if m.F[0] != float64(prev*1000+r) || m.I[0] != r {
+				t.Errorf("rank %d round %d: corrupt delivery %v %v", c.Rank(), r, m.F, m.I)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("lossy ring failed: %v", err)
+	}
+	return w.Stats()
+}
+
+func TestLossyDeliveryDrop(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	st := lossyRing(t, &fault.Plan{Seed: 11, Drop: 0.25}, 40)
+	if st.Faults.Drops == 0 {
+		t.Error("no drops injected at p=0.25")
+	}
+	if st.Resends == 0 {
+		t.Error("drops must force retransmissions")
+	}
+}
+
+func TestLossyDeliveryDupAndDelay(t *testing.T) {
+	st := lossyRing(t, &fault.Plan{Seed: 5, Dup: 0.3, Delay: 0.2, DelayFor: time.Millisecond}, 30)
+	if st.Faults.Dups == 0 || st.Faults.Delays == 0 {
+		t.Errorf("expected dups and delays: %+v", st.Faults)
+	}
+}
+
+func TestLossyDeliveryCorruption(t *testing.T) {
+	st := lossyRing(t, &fault.Plan{Seed: 23, Corrupt: 0.2}, 40)
+	if st.Faults.Corrupts == 0 {
+		t.Error("no corruption injected at p=0.2")
+	}
+	if st.ChecksumRejects == 0 {
+		t.Error("corrupt packets must be rejected by checksum")
+	}
+}
+
+func TestLossyEverythingAtOnce(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	lossyRing(t, &fault.Plan{
+		Seed: 99, Drop: 0.15, Dup: 0.15, Corrupt: 0.1,
+		Delay: 0.1, DelayFor: 500 * time.Microsecond,
+	}, 30)
+}
+
+func TestLossyRepeatable(t *testing.T) {
+	// Same plan, same protocol ⇒ the same faults fire on both runs (the
+	// per-transmission decisions are pure hashes; only the retry count
+	// can vary with scheduling). Both runs must deliver and inject.
+	a := lossyRing(t, &fault.Plan{Seed: 7, Drop: 0.2, Corrupt: 0.1}, 25)
+	b := lossyRing(t, &fault.Plan{Seed: 7, Drop: 0.2, Corrupt: 0.1}, 25)
+	if a.Faults.Drops == 0 || b.Faults.Drops == 0 {
+		t.Errorf("both runs must inject drops: %+v vs %+v", a.Faults, b.Faults)
+	}
+	if a.Faults.Corrupts == 0 || b.Faults.Corrupts == 0 {
+		t.Errorf("both runs must inject corruption: %+v vs %+v", a.Faults, b.Faults)
+	}
+}
+
+func TestInjectedCrashSurfacesTypedError(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	in := fault.NewInjector(&fault.Plan{Crashes: []fault.RankEvent{{Rank: 1, Iter: 2}}})
+	w := NewWorldOpts(3, Options{Timeout: 2 * time.Second, Injector: in})
+	err := w.Run(func(c *Comm) error {
+		for iter := 0; iter < 5; iter++ {
+			if err := c.Progress(iter); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, fault.ErrInjectedCrash) {
+		t.Errorf("want injected crash in error chain, got %v", err)
+	}
+	if !errors.Is(err, ErrRankFailed) && !errors.Is(err, ErrAborted) {
+		t.Errorf("peers should observe the failure: %v", err)
+	}
+}
+
+func TestStallRecoversWhenShorterThanTimeout(t *testing.T) {
+	in := fault.NewInjector(&fault.Plan{Stalls: []fault.StallEvent{{Rank: 0, Iter: 1, Dur: 20 * time.Millisecond}}})
+	w := NewWorldOpts(2, Options{Timeout: 2 * time.Second, Injector: in})
+	err := w.Run(func(c *Comm) error {
+		for iter := 0; iter < 3; iter++ {
+			if err := c.Progress(iter); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("short stall should be absorbed: %v", err)
+	}
+}
+
+func TestWatchdogDumpsOnStall(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, strings.TrimSpace(format))
+		mu.Unlock()
+	}
+	w := NewWorldOpts(2, Options{
+		Timeout:  200 * time.Millisecond,
+		Watchdog: 30 * time.Millisecond,
+		Logf:     logf,
+	})
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			_, err := c.Recv(1, 42) // peer never sends: a stall
+			return err
+		}
+		time.Sleep(150 * time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout from the stalled recv, got %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "no progress") || !strings.Contains(joined, "rank %d") {
+		t.Errorf("watchdog dump missing: %q", joined)
+	}
+}
+
+func TestManyRanksStress(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	// Ring-pass under race detector.
+	const n = 16
+	w := NewWorld(n, 2)
+	err := w.Run(func(c *Comm) error {
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() + n - 1) % n
+		if err := c.Send(next, 9, []float64{float64(c.Rank())}, nil); err != nil {
+			return err
+		}
+		m, err := c.Recv(prev, 9)
+		if err != nil {
+			return err
+		}
+		if int(m.F[0]) != prev {
+			t.Errorf("rank %d got token %v", c.Rank(), m.F[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -159,17 +483,30 @@ func TestCostModel(t *testing.T) {
 	}
 }
 
-func TestManyRanksStress(t *testing.T) {
-	// Ring-pass under race detector.
-	const n = 16
-	w := NewWorld(n, 2)
-	w.Run(func(c *Comm) {
-		next := (c.Rank() + 1) % n
-		prev := (c.Rank() + n - 1) % n
-		c.Send(next, 9, []float64{float64(c.Rank())}, nil)
-		m := c.Recv(prev, 9)
-		if int(m.F[0]) != prev {
-			t.Errorf("rank %d got token %v", c.Rank(), m.F[0])
-		}
-	})
+func TestCostModelRecoveryPricing(t *testing.T) {
+	m := NewCostModel()
+	if m.Resend(1e6, 0) != 0 {
+		t.Error("no loss, no resend cost")
+	}
+	lo, hi := m.Resend(1e6, 0.01), m.Resend(1e6, 0.1)
+	if !(hi > lo && lo > 0) {
+		t.Errorf("resend cost must grow with loss rate: %v %v", lo, hi)
+	}
+	// 2 GB at the 2 GB/s default checkpoint bandwidth ~ 1 s.
+	if d := m.CheckpointWrite(2e9); d < 0.99 || d > 1.01 {
+		t.Errorf("CheckpointWrite = %v", d)
+	}
+	if m.CheckpointWrite(0) != 0 {
+		t.Error("empty checkpoint free")
+	}
+	// Checksum maintenance: 2 columns × 2·mLoc·nb² flops.
+	rate := 1e9
+	d := m.ChecksumUpdate(1000, 100, rate)
+	want := 2 * 2 * 1000.0 * 100 * 100 / rate
+	if d < 0.99*want || d > 1.01*want {
+		t.Errorf("ChecksumUpdate = %v, want %v", d, want)
+	}
+	if m.ChecksumUpdate(0, 100, rate) != 0 {
+		t.Error("empty update free")
+	}
 }

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"math"
+
+	"phihpl/internal/machine"
+)
+
+// CostModel prices collective operations on the cluster fabric for the
+// virtual-time HPL simulation, including the recovery traffic of the
+// fault-tolerant protocol (retransmission, checkpoint write-back, ABFT
+// checksum maintenance).
+type CostModel struct {
+	Net machine.Interconnect
+	// CkptBWBytes is the node-local stable-storage write bandwidth used
+	// to price checkpoint write-back (0 ⇒ 2 GB/s, a local SSD).
+	CkptBWBytes float64
+}
+
+// NewCostModel returns the FDR InfiniBand model.
+func NewCostModel() CostModel {
+	return CostModel{Net: machine.FDRInfiniband(), CkptBWBytes: 2e9}
+}
+
+// PtToPt returns the time to move `bytes` between two nodes.
+func (m CostModel) PtToPt(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return m.Net.LatencySec + bytes/m.Net.BWBytes
+}
+
+// Bcast returns the time for a long-message broadcast of `bytes` to
+// `members` ranks: HPL's panel and U broadcasts are pipelined
+// (increasing-ring / bandwidth-optimal), so the payload crosses each link
+// once and only the log-depth latency term scales with the member count.
+func (m CostModel) Bcast(bytes float64, members int) float64 {
+	if members <= 1 || bytes <= 0 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(members)))
+	return rounds*m.Net.LatencySec + bytes/m.Net.BWBytes
+}
+
+// SwapExchange returns the network part of HPL's long row swap across
+// `rows` process rows: each node exchanges its share of the swapped rows,
+// (rows-1)/rows of `bytes` crossing the wire, plus a log-depth
+// coordination term.
+func (m CostModel) SwapExchange(bytes float64, rows int) float64 {
+	if rows <= 1 || bytes <= 0 {
+		return 0
+	}
+	frac := float64(rows-1) / float64(rows)
+	rounds := math.Ceil(math.Log2(float64(rows)))
+	return rounds*m.Net.LatencySec + frac*bytes/m.Net.BWBytes
+}
+
+// PivotAllreduce returns the per-column pivot-selection reduction cost for
+// a panel of nb columns factored across `rows` process rows.
+func (m CostModel) PivotAllreduce(nb, rows int) float64 {
+	if rows <= 1 || nb <= 0 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(rows)))
+	// Two log-depth phases (reduce + broadcast) of one cache line per column.
+	return float64(nb) * 2 * rounds * m.Net.LatencySec
+}
+
+// --- Recovery-traffic pricing ------------------------------------------
+
+// RTO is the retransmission timeout the reliable fabric waits before
+// resending an unacknowledged packet: a conservative multiple of the wire
+// latency, mirroring TCP's RTT-derived timer.
+func (m CostModel) RTO() float64 { return 10 * m.Net.LatencySec }
+
+// Resend prices the expected retransmission overhead of moving `bytes`
+// once under a per-transmission loss rate p: a geometric mean of p/(1-p)
+// extra attempts, each costing one RTO wait plus the wire time.
+func (m CostModel) Resend(bytes float64, lossRate float64) float64 {
+	if lossRate <= 0 || bytes <= 0 {
+		return 0
+	}
+	if lossRate > 0.99 {
+		lossRate = 0.99
+	}
+	expected := lossRate / (1 - lossRate)
+	return expected * (m.RTO() + m.PtToPt(bytes))
+}
+
+// CheckpointWrite prices writing `bytes` of local state to node-local
+// stable storage (the super-step checkpoint of the fault-tolerant
+// solver). Checkpoints on distinct nodes proceed in parallel, so the cost
+// does not scale with the node count.
+func (m CostModel) CheckpointWrite(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	bw := m.CkptBWBytes
+	if bw <= 0 {
+		bw = 2e9
+	}
+	return bytes / bw
+}
+
+// ChecksumUpdate prices one iteration's ABFT checksum-column maintenance:
+// the pair of nb-wide Huang–Abraham checksum columns receive the same
+// TRSM + GEMM treatment as a data column (2·mLoc·nb·nb flops each) at the
+// node's update rate `rateFLOPS`.
+func (m CostModel) ChecksumUpdate(mLoc, nb int, rateFLOPS float64) float64 {
+	if mLoc <= 0 || nb <= 0 || rateFLOPS <= 0 {
+		return 0
+	}
+	flops := 2 * 2 * float64(mLoc) * float64(nb) * float64(nb)
+	return flops / rateFLOPS
+}

@@ -1,0 +1,366 @@
+// Package fault provides a deterministic, seeded fault plan for chaos
+// testing the distributed Linpack stack. A Plan describes which faults to
+// inject — message-level faults (drop, delay, duplication, payload
+// corruption) decided per transmission by a keyed hash of the plan seed,
+// and rank-level one-shot events (crash, stall, silent block scrub) fired
+// at a chosen iteration — and an Injector applies it. Because every
+// message-level decision is a pure function of (seed, src, dst, seq,
+// attempt) and every rank event is an explicit (rank, iteration) pair,
+// a chaos run is exactly reproducible regardless of goroutine scheduling.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedCrash marks an error produced by a planned rank crash; the
+// fault-tolerant drivers treat it as a restartable fault.
+var ErrInjectedCrash = errors.New("fault: injected rank crash")
+
+// CrashError reports which rank crashed at which iteration.
+type CrashError struct {
+	Rank, Iter int
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("fault: rank %d crashed at iteration %d (injected)", e.Rank, e.Iter)
+}
+
+// Is makes errors.Is(err, ErrInjectedCrash) succeed.
+func (e *CrashError) Is(target error) bool { return target == ErrInjectedCrash }
+
+// RankEvent is a one-shot fault pinned to (rank, iteration).
+type RankEvent struct {
+	Rank, Iter int
+}
+
+// StallEvent pauses a rank at an iteration for Dur before it continues.
+type StallEvent struct {
+	Rank, Iter int
+	Dur        time.Duration
+}
+
+// Plan is a complete, serializable description of the faults to inject.
+// The zero Plan injects nothing.
+type Plan struct {
+	// Seed keys every probabilistic decision.
+	Seed uint64
+	// Drop is the per-transmission probability a data packet is lost.
+	Drop float64
+	// Dup is the per-transmission probability a packet is delivered twice.
+	Dup float64
+	// Delay is the per-transmission probability a packet is held for
+	// DelayFor before delivery.
+	Delay    float64
+	DelayFor time.Duration
+	// Corrupt is the per-transmission probability the payload is
+	// bit-flipped in flight (detected by the transport checksum).
+	Corrupt float64
+	// Crashes kill the rank's goroutine at the given iteration (one-shot:
+	// a respawned rank does not crash again).
+	Crashes []RankEvent
+	// Stalls pause the rank at the given iteration (one-shot).
+	Stalls []StallEvent
+	// Scrubs silently corrupt one owned trailing block of the rank at the
+	// given iteration — invisible to the transport, caught only by the
+	// ABFT checksum verification (one-shot).
+	Scrubs []RankEvent
+}
+
+// Empty reports whether the plan injects no faults at all.
+func (p *Plan) Empty() bool {
+	if p == nil {
+		return true
+	}
+	return p.Drop == 0 && p.Dup == 0 && p.Delay == 0 && p.Corrupt == 0 &&
+		len(p.Crashes) == 0 && len(p.Stalls) == 0 && len(p.Scrubs) == 0
+}
+
+// String renders the plan in the spec syntax accepted by Parse.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	if p.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", p.Drop))
+	}
+	if p.Dup > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%g", p.Dup))
+	}
+	if p.Delay > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%g:%s", p.Delay, p.DelayFor))
+	}
+	if p.Corrupt > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt=%g", p.Corrupt))
+	}
+	for _, c := range p.Crashes {
+		parts = append(parts, fmt.Sprintf("crash=%d@%d", c.Rank, c.Iter))
+	}
+	for _, s := range p.Stalls {
+		parts = append(parts, fmt.Sprintf("stall=%d@%d:%s", s.Rank, s.Iter, s.Dur))
+	}
+	for _, s := range p.Scrubs {
+		parts = append(parts, fmt.Sprintf("scrub=%d@%d", s.Rank, s.Iter))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Parse builds a Plan from a semicolon-separated spec, e.g.
+//
+//	"seed=7;drop=0.02;delay=0.01:2ms;dup=0.01;corrupt=0.005;crash=3@2;stall=1@4:300ms;scrub=2@3"
+//
+// Probabilities are in [0,1); crash/stall/scrub take rank@iteration, stall
+// and delay take a trailing :duration. An empty spec yields an empty plan.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(spec, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: malformed field %q (want key=value)", field)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "drop":
+			p.Drop, err = parseProb(val)
+		case "dup":
+			p.Dup, err = parseProb(val)
+		case "corrupt":
+			p.Corrupt, err = parseProb(val)
+		case "delay":
+			prob, durStr, _ := strings.Cut(val, ":")
+			if p.Delay, err = parseProb(prob); err == nil {
+				p.DelayFor = time.Millisecond
+				if durStr != "" {
+					p.DelayFor, err = time.ParseDuration(durStr)
+				}
+			}
+		case "crash":
+			var ev RankEvent
+			if ev, err = parseRankAt(val); err == nil {
+				p.Crashes = append(p.Crashes, ev)
+			}
+		case "scrub":
+			var ev RankEvent
+			if ev, err = parseRankAt(val); err == nil {
+				p.Scrubs = append(p.Scrubs, ev)
+			}
+		case "stall":
+			at, durStr, _ := strings.Cut(val, ":")
+			var ev RankEvent
+			if ev, err = parseRankAt(at); err == nil {
+				dur := 500 * time.Millisecond
+				if durStr != "" {
+					dur, err = time.ParseDuration(durStr)
+				}
+				p.Stalls = append(p.Stalls, StallEvent{Rank: ev.Rank, Iter: ev.Iter, Dur: dur})
+			}
+		default:
+			return nil, fmt.Errorf("fault: unknown fault kind %q", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad field %q: %v", field, err)
+		}
+	}
+	sort.Slice(p.Crashes, func(i, j int) bool { return p.Crashes[i].Iter < p.Crashes[j].Iter })
+	return p, nil
+}
+
+func parseProb(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v >= 1 {
+		return 0, fmt.Errorf("probability %g outside [0,1)", v)
+	}
+	return v, nil
+}
+
+func parseRankAt(s string) (RankEvent, error) {
+	rs, is, ok := strings.Cut(s, "@")
+	if !ok {
+		return RankEvent{}, fmt.Errorf("want rank@iteration, got %q", s)
+	}
+	r, err := strconv.Atoi(rs)
+	if err != nil {
+		return RankEvent{}, err
+	}
+	i, err := strconv.Atoi(is)
+	if err != nil {
+		return RankEvent{}, err
+	}
+	if r < 0 || i < 0 {
+		return RankEvent{}, fmt.Errorf("rank and iteration must be non-negative: %q", s)
+	}
+	return RankEvent{Rank: r, Iter: i}, nil
+}
+
+// Action is the injector's verdict for one transmission attempt.
+type Action struct {
+	Drop    bool
+	Dup     bool
+	Corrupt bool
+	Delay   time.Duration
+}
+
+// Stats counts injected faults (atomically updated, safe to read after a
+// run completes).
+type Stats struct {
+	Drops, Dups, Delays, Corrupts uint64
+	Crashes, Stalls, Scrubs       uint64
+}
+
+// Injector applies a Plan. One-shot rank events are tracked across world
+// respawns, so an Injector must live as long as the whole fault-tolerant
+// attempt loop, not a single attempt.
+type Injector struct {
+	plan Plan
+
+	mu    sync.Mutex
+	fired map[string]bool // one-shot events already delivered
+
+	drops, dups, delays, corrupts atomic.Uint64
+	crashes, stalls, scrubs       atomic.Uint64
+}
+
+// NewInjector returns an injector for the plan; a nil plan injects nothing.
+func NewInjector(p *Plan) *Injector {
+	in := &Injector{fired: make(map[string]bool)}
+	if p != nil {
+		in.plan = *p
+	}
+	return in
+}
+
+// Plan returns a copy of the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// OnTransmit decides the fate of transmission `attempt` of packet `seq` on
+// link src→dst. The decision is a pure function of the plan seed and the
+// identifiers, so the fault sequence is reproducible run to run.
+func (in *Injector) OnTransmit(src, dst int, seq uint64, attempt int) Action {
+	var a Action
+	if in == nil {
+		return a
+	}
+	key := in.plan.Seed ^ 0x9e3779b97f4a7c15 ^
+		uint64(src)<<48 ^ uint64(dst)<<32 ^ seq<<8 ^ uint64(attempt)
+	if in.plan.Drop > 0 && hash01(key, 1) < in.plan.Drop {
+		a.Drop = true
+		in.drops.Add(1)
+		return a
+	}
+	if in.plan.Corrupt > 0 && hash01(key, 2) < in.plan.Corrupt {
+		a.Corrupt = true
+		in.corrupts.Add(1)
+	}
+	if in.plan.Dup > 0 && hash01(key, 3) < in.plan.Dup {
+		a.Dup = true
+		in.dups.Add(1)
+	}
+	if in.plan.Delay > 0 && hash01(key, 4) < in.plan.Delay {
+		a.Delay = in.plan.DelayFor
+		in.delays.Add(1)
+	}
+	return a
+}
+
+// CrashAt reports whether rank must crash at iter; fires at most once per
+// (rank, iter) event across the injector's lifetime.
+func (in *Injector) CrashAt(rank, iter int) bool {
+	if in == nil {
+		return false
+	}
+	for _, ev := range in.plan.Crashes {
+		if ev.Rank == rank && ev.Iter == iter && in.fireOnce("crash", rank, iter) {
+			in.crashes.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// StallAt returns the stall duration for (rank, iter), once.
+func (in *Injector) StallAt(rank, iter int) (time.Duration, bool) {
+	if in == nil {
+		return 0, false
+	}
+	for _, ev := range in.plan.Stalls {
+		if ev.Rank == rank && ev.Iter == iter && in.fireOnce("stall", rank, iter) {
+			in.stalls.Add(1)
+			return ev.Dur, true
+		}
+	}
+	return 0, false
+}
+
+// ScrubAt reports whether rank must silently corrupt an owned block at
+// iter, once.
+func (in *Injector) ScrubAt(rank, iter int) bool {
+	if in == nil {
+		return false
+	}
+	for _, ev := range in.plan.Scrubs {
+		if ev.Rank == rank && ev.Iter == iter && in.fireOnce("scrub", rank, iter) {
+			in.scrubs.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+func (in *Injector) fireOnce(kind string, rank, iter int) bool {
+	key := fmt.Sprintf("%s/%d/%d", kind, rank, iter)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.fired[key] {
+		return false
+	}
+	in.fired[key] = true
+	return true
+}
+
+// Stats snapshots the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return Stats{
+		Drops: in.drops.Load(), Dups: in.dups.Load(),
+		Delays: in.delays.Load(), Corrupts: in.corrupts.Load(),
+		Crashes: in.crashes.Load(), Stalls: in.stalls.Load(),
+		Scrubs: in.scrubs.Load(),
+	}
+}
+
+// hash01 maps (key, lane) to [0,1) with a splitmix64 finalizer.
+func hash01(key uint64, lane uint64) float64 {
+	z := key + lane*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

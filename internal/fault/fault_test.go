@@ -1,0 +1,171 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "seed=7;drop=0.02;dup=0.01;delay=0.05:2ms;corrupt=0.005;crash=3@2;stall=1@4:300ms;scrub=2@3"
+	p, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 7 || p.Drop != 0.02 || p.Dup != 0.01 || p.Corrupt != 0.005 {
+		t.Errorf("probabilities wrong: %+v", p)
+	}
+	if p.Delay != 0.05 || p.DelayFor != 2*time.Millisecond {
+		t.Errorf("delay wrong: %+v", p)
+	}
+	if len(p.Crashes) != 1 || p.Crashes[0] != (RankEvent{3, 2}) {
+		t.Errorf("crash wrong: %+v", p.Crashes)
+	}
+	if len(p.Stalls) != 1 || p.Stalls[0] != (StallEvent{1, 4, 300 * time.Millisecond}) {
+		t.Errorf("stall wrong: %+v", p.Stalls)
+	}
+	if len(p.Scrubs) != 1 || p.Scrubs[0] != (RankEvent{2, 3}) {
+		t.Errorf("scrub wrong: %+v", p.Scrubs)
+	}
+	// Re-parse the rendered form: must be equivalent.
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", p.String(), err)
+	}
+	if p2.String() != p.String() {
+		t.Errorf("round trip: %q != %q", p2.String(), p.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"drop", "drop=x", "drop=1.5", "drop=-0.1",
+		"crash=3", "crash=a@b", "crash=-1@2",
+		"wibble=1", "stall=1@2:zz",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	p, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Empty() {
+		t.Error("empty spec should give empty plan")
+	}
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Error("nil plan is empty")
+	}
+}
+
+func TestOnTransmitDeterministic(t *testing.T) {
+	p := &Plan{Seed: 42, Drop: 0.3, Dup: 0.1, Corrupt: 0.1}
+	a, b := NewInjector(p), NewInjector(p)
+	for seq := uint64(0); seq < 2000; seq++ {
+		if a.OnTransmit(1, 2, seq, 0) != b.OnTransmit(1, 2, seq, 0) {
+			t.Fatalf("decision for seq %d not deterministic", seq)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Errorf("stats diverge: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Drops == 0 {
+		t.Error("drop rate 0.3 over 2000 transmissions should drop some packets")
+	}
+}
+
+func TestOnTransmitRatesApproximate(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 9, Drop: 0.2})
+	n := 20000
+	for seq := 0; seq < n; seq++ {
+		in.OnTransmit(0, 1, uint64(seq), 0)
+	}
+	got := float64(in.Stats().Drops) / float64(n)
+	if got < 0.17 || got > 0.23 {
+		t.Errorf("drop rate %.3f far from 0.2", got)
+	}
+}
+
+func TestOnTransmitAttemptIndependence(t *testing.T) {
+	// A dropped first attempt must not doom every retransmission: the
+	// attempt number participates in the hash.
+	in := NewInjector(&Plan{Seed: 3, Drop: 0.5})
+	for seq := uint64(0); seq < 64; seq++ {
+		if !in.OnTransmit(0, 1, seq, 0).Drop {
+			continue
+		}
+		survived := false
+		for attempt := 1; attempt < 20; attempt++ {
+			if !in.OnTransmit(0, 1, seq, attempt).Drop {
+				survived = true
+				break
+			}
+		}
+		if !survived {
+			t.Fatalf("seq %d dropped on 20 consecutive attempts at p=0.5", seq)
+		}
+	}
+}
+
+func TestOneShotEvents(t *testing.T) {
+	p := &Plan{
+		Crashes: []RankEvent{{Rank: 2, Iter: 3}},
+		Stalls:  []StallEvent{{Rank: 1, Iter: 0, Dur: time.Millisecond}},
+		Scrubs:  []RankEvent{{Rank: 0, Iter: 5}},
+	}
+	in := NewInjector(p)
+	if in.CrashAt(2, 2) || in.CrashAt(1, 3) {
+		t.Error("crash fired for wrong rank/iter")
+	}
+	if !in.CrashAt(2, 3) {
+		t.Error("crash did not fire")
+	}
+	if in.CrashAt(2, 3) {
+		t.Error("crash fired twice (must be one-shot across respawns)")
+	}
+	if d, ok := in.StallAt(1, 0); !ok || d != time.Millisecond {
+		t.Error("stall did not fire")
+	}
+	if _, ok := in.StallAt(1, 0); ok {
+		t.Error("stall fired twice")
+	}
+	if !in.ScrubAt(0, 5) || in.ScrubAt(0, 5) {
+		t.Error("scrub one-shot broken")
+	}
+	s := in.Stats()
+	if s.Crashes != 1 || s.Stalls != 1 || s.Scrubs != 1 {
+		t.Errorf("event stats wrong: %+v", s)
+	}
+}
+
+func TestCrashErrorIs(t *testing.T) {
+	err := error(&CrashError{Rank: 3, Iter: 2})
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Error("CrashError must match ErrInjectedCrash")
+	}
+	var ce *CrashError
+	if !errors.As(err, &ce) || ce.Rank != 3 {
+		t.Error("errors.As should recover the crash details")
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if a := in.OnTransmit(0, 1, 0, 0); a.Drop || a.Dup || a.Corrupt || a.Delay != 0 {
+		t.Error("nil injector must be transparent")
+	}
+	if in.CrashAt(0, 0) || in.ScrubAt(0, 0) {
+		t.Error("nil injector fires events")
+	}
+	if _, ok := in.StallAt(0, 0); ok {
+		t.Error("nil injector stalls")
+	}
+	if in.Stats() != (Stats{}) {
+		t.Error("nil injector stats")
+	}
+}

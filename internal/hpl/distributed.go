@@ -1,10 +1,11 @@
 // Package hpl implements the hybrid High-Performance-Linpack layer of
 // Section V: a functional distributed LU solver running on the in-process
 // cluster fabric (block-cyclic panels, per-stage panel broadcast, row
-// swapping, forward solve and trailing update on every rank), and a
-// virtual-time simulation of the hybrid host+coprocessor implementation
-// with the paper's three look-ahead schemes, which regenerates Figure 9
-// and Table III.
+// swapping, forward solve and trailing update on every rank), a
+// fault-tolerant variant with ABFT checksum columns and super-step
+// checkpoint/rollback (ft.go), and a virtual-time simulation of the
+// hybrid host+coprocessor implementation with the paper's three
+// look-ahead schemes, which regenerates Figure 9 and Table III.
 package hpl
 
 import (
@@ -29,6 +30,9 @@ type DistResult struct {
 	Residual float64
 	Ranks    int
 	Panels   int
+	// FT carries the fault-tolerance counters of SolveDistributed2DFT
+	// (nil for the plain drivers).
+	FT *FTStats
 }
 
 // SolveDistributed factors and solves the seeded random system A·x = b on
@@ -51,8 +55,11 @@ func SolveDistributed(n, nb, ranks int, seed uint64) (DistResult, error) {
 	results := make([]DistResult, ranks)
 	errs := make([]error, ranks)
 
-	world.Run(func(c *Comm) { runRank(c, n, nb, np, seed, results, errs) })
-
+	if err := world.Run(func(c *Comm) error {
+		return runRank(c, n, nb, np, seed, results, errs)
+	}); err != nil {
+		return results[0], err
+	}
 	for _, e := range errs {
 		if e != nil {
 			return results[0], e
@@ -72,8 +79,10 @@ func clampNB(n int) int {
 	return nb
 }
 
-// runRank is the per-node program.
-func runRank(c *Comm, n, nb, np int, seed uint64, results []DistResult, errs []error) {
+// runRank is the per-node program. Fabric and payload-shape problems are
+// returned directly; a singular matrix is reported through errs[0] after
+// the gather so the residual check still runs on the partial factors.
+func runRank(c *Comm, n, nb, np int, seed uint64, results []DistResult, errs []error) error {
 	rank, size := c.Rank(), c.Size()
 
 	// Deterministic generation: every rank derives the same global matrix
@@ -101,13 +110,19 @@ func runRank(c *Comm, n, nb, np int, seed uint64, results []DistResult, errs []e
 			panel := local[p].View(lo, 0, n-lo, w)
 			piv = make([]int, w)
 			if err := blas.Dgetf2(panel, piv); err != nil && firstErr == nil {
-				firstErr = err
+				firstErr = blas.OffsetSingular(err, lo)
 			}
 			payload = flatten(panel)
 		}
-		msg := c.Bcast(owner, tagPanel+p, payload, piv)
+		msg, err := c.Bcast(owner, tagPanel+p, payload, piv)
+		if err != nil {
+			return err
+		}
 		piv = msg.I
-		factored := unflatten(msg.F, n-lo, w)
+		factored, err := unflatten(msg.F, n-lo, w)
+		if err != nil {
+			return err
+		}
 
 		for k, pv := range piv {
 			globalPiv[lo+k] = pv + lo
@@ -145,11 +160,12 @@ func runRank(c *Comm, n, nb, np int, seed uint64, results []DistResult, errs []e
 		// in the order it drains the grid.
 		for p := 0; p < np; p++ {
 			if panel, ok := local[p]; ok {
-				c.Send(0, tagGather+p, flatten(panel), nil)
+				if err := c.Send(0, tagGather+p, flatten(panel), nil); err != nil {
+					return err
+				}
 			}
 		}
-		c.Send(0, tagErr, nil, []int{boolToInt(firstErr != nil)})
-		return
+		return c.Send(0, tagErr, nil, singularFlag(firstErr))
 	}
 
 	lu := matrix.NewDense(n, n)
@@ -159,14 +175,23 @@ func runRank(c *Comm, n, nb, np int, seed uint64, results []DistResult, errs []e
 		if own, ok := local[p]; ok {
 			panel = own
 		} else {
-			msg := c.Recv(cluster.CyclicOwner(p, size), tagGather+p)
-			panel = unflatten(msg.F, n, w)
+			msg, err := c.Recv(cluster.CyclicOwner(p, size), tagGather+p)
+			if err != nil {
+				return err
+			}
+			if panel, err = unflatten(msg.F, n, w); err != nil {
+				return err
+			}
 		}
 		lu.View(0, lo, n, w).CopyFrom(panel)
 	}
 	for r := 1; r < size; r++ {
-		if msg := c.Recv(r, tagErr); msg.I[0] != 0 && firstErr == nil {
-			firstErr = blas.ErrSingular
+		msg, err := c.Recv(r, tagErr)
+		if err != nil {
+			return err
+		}
+		if e := singularFromFlag(msg.I); e != nil && firstErr == nil {
+			firstErr = e
 		}
 	}
 
@@ -178,6 +203,7 @@ func runRank(c *Comm, n, nb, np int, seed uint64, results []DistResult, errs []e
 		Panels:   np,
 	}
 	errs[0] = firstErr
+	return nil
 }
 
 // panelSpan returns panel p's first column and width.
@@ -198,16 +224,36 @@ func flatten(m *matrix.Dense) []float64 {
 	return out
 }
 
-func unflatten(data []float64, rows, cols int) *matrix.Dense {
+// unflatten reshapes a received payload, rejecting shape mismatches as a
+// typed error (a corrupted or mis-routed message, not a crash).
+func unflatten(data []float64, rows, cols int) (*matrix.Dense, error) {
 	if len(data) != rows*cols {
-		panic(fmt.Sprintf("hpl: payload %d != %dx%d", len(data), rows, cols))
+		return nil, fmt.Errorf("hpl: payload %d != %dx%d elements", len(data), rows, cols)
 	}
-	return &matrix.Dense{Rows: rows, Cols: cols, Stride: cols, Data: data}
+	return &matrix.Dense{Rows: rows, Cols: cols, Stride: cols, Data: data}, nil
 }
 
-func boolToInt(b bool) int {
-	if b {
-		return 1
+// singularFlag encodes a (possibly nil) singularity error as the
+// {flag, column} int payload of a tagErr message.
+func singularFlag(err error) []int {
+	if err == nil {
+		return []int{0, 0}
 	}
-	return 0
+	col := -1
+	var se *blas.SingularError
+	if errors.As(err, &se) {
+		col = se.Col
+	}
+	return []int{1, col}
+}
+
+// singularFromFlag decodes singularFlag's payload.
+func singularFromFlag(ints []int) error {
+	if len(ints) < 1 || ints[0] == 0 {
+		return nil
+	}
+	if len(ints) >= 2 && ints[1] >= 0 {
+		return &blas.SingularError{Col: ints[1]}
+	}
+	return blas.ErrSingular
 }

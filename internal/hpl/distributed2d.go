@@ -40,11 +40,13 @@ func SolveDistributed2D(n, nb, p, q int, seed uint64) (DistResult, error) {
 	world := cluster.NewWorld(p*q, nBlocks*nBlocks+16)
 	results := make([]DistResult, p*q)
 	errs := make([]error, p*q)
-	world.Run(func(c *Comm) {
+	if err := world.Run(func(c *Comm) error {
 		g := &grid2d{c: c, P: p, Q: q, n: n, nb: nb, nBlocks: nBlocks}
 		g.p, g.q = c.Rank()/q, c.Rank()%q
-		g.run(seed, results, errs)
-	})
+		return g.run(seed, results, errs)
+	}); err != nil {
+		return results[0], err
+	}
 	for _, e := range errs {
 		if e != nil {
 			return results[0], e
@@ -98,8 +100,8 @@ func (g *grid2d) blockDims(i, j int) (rows, cols int) {
 	return rows, cols
 }
 
-func (g *grid2d) run(seed uint64, results []DistResult, errs []error) {
-	// Deterministic generation; keep only owned blocks.
+// scatter generates the seeded system and keeps only owned blocks.
+func (g *grid2d) scatter(seed uint64) (*matrix.Dense, []float64) {
 	full, rhs := matrix.RandomSystem(g.n, seed)
 	g.blocks = make(map[[2]int]*matrix.Dense)
 	for i := 0; i < g.nBlocks; i++ {
@@ -114,22 +116,44 @@ func (g *grid2d) run(seed uint64, results []DistResult, errs []error) {
 	for i := range g.globalPiv {
 		g.globalPiv[i] = i
 	}
+	return full, rhs
+}
 
-	for k := 0; k < g.nBlocks; k++ {
-		piv := g.factorPanel(k)
-		g.swapRows(k, piv)
-		g.broadcastL(k)
-		g.solveAndBroadcastU(k)
-		g.update(k)
+// stage runs one iteration of the outer factorization loop.
+func (g *grid2d) stage(k int) error {
+	piv, err := g.factorPanel(k)
+	if err != nil {
+		return err
 	}
+	if err := g.swapRows(k, piv); err != nil {
+		return err
+	}
+	if err := g.broadcastL(k); err != nil {
+		return err
+	}
+	if err := g.solveAndBroadcastU(k); err != nil {
+		return err
+	}
+	return g.update(k)
+}
 
-	g.gatherAndSolve(full, rhs, results, errs)
+func (g *grid2d) run(seed uint64, results []DistResult, errs []error) error {
+	full, rhs := g.scatter(seed)
+	for k := 0; k < g.nBlocks; k++ {
+		if err := g.c.Progress(k); err != nil {
+			return err
+		}
+		if err := g.stage(k); err != nil {
+			return err
+		}
+	}
+	return g.gatherAndSolve(full, rhs, results, errs)
 }
 
 // factorPanel gathers block column k (rows k*nb..n) on the diagonal owner,
 // factors it, scatters the factored segments back, and broadcasts the
 // panel-relative pivots to the whole grid. Returns the pivots.
-func (g *grid2d) factorPanel(k int) []int {
+func (g *grid2d) factorPanel(k int) ([]int, error) {
 	rootP, rootQ := g.owner(k, k)
 	root := g.rank(rootP, rootQ)
 	_, w := g.blockDims(k, k)
@@ -140,7 +164,9 @@ func (g *grid2d) factorPanel(k int) []int {
 	if inPanelColumn && g.rank(g.p, g.q) != root {
 		for i := k; i < g.nBlocks; i++ {
 			if op, _ := g.owner(i, k); op == g.p {
-				g.c.Send(root, tag2dGatherBase+k*g.nBlocks+i, flatten(g.blocks[[2]int{i, k}]), nil)
+				if err := g.c.Send(root, tag2dGatherBase+k*g.nBlocks+i, flatten(g.blocks[[2]int{i, k}]), nil); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
@@ -154,13 +180,20 @@ func (g *grid2d) factorPanel(k int) []int {
 			if op, _ := g.owner(i, k); op == g.p {
 				dst.CopyFrom(g.blocks[[2]int{i, k}])
 			} else {
-				msg := g.c.Recv(g.rank(op, rootQ), tag2dGatherBase+k*g.nBlocks+i)
-				dst.CopyFrom(unflatten(msg.F, r, w))
+				msg, err := g.c.Recv(g.rank(op, rootQ), tag2dGatherBase+k*g.nBlocks+i)
+				if err != nil {
+					return nil, err
+				}
+				seg, err := unflatten(msg.F, r, w)
+				if err != nil {
+					return nil, err
+				}
+				dst.CopyFrom(seg)
 			}
 		}
 		piv = make([]int, w)
 		if err := blas.Dgetf2(panel, piv); err != nil && g.firstError == nil {
-			g.firstError = err
+			g.firstError = blas.OffsetSingular(err, k*g.nb)
 		}
 		// Scatter factored segments back.
 		for i := k; i < g.nBlocks; i++ {
@@ -169,15 +202,24 @@ func (g *grid2d) factorPanel(k int) []int {
 			if op, _ := g.owner(i, k); op == g.p {
 				g.blocks[[2]int{i, k}].CopyFrom(seg)
 			} else {
-				g.c.Send(g.rank(op, rootQ), tag2dGatherBase+k*g.nBlocks+i, flatten(seg), nil)
+				if err := g.c.Send(g.rank(op, rootQ), tag2dGatherBase+k*g.nBlocks+i, flatten(seg), nil); err != nil {
+					return nil, err
+				}
 			}
 		}
 	} else if inPanelColumn {
 		for i := k; i < g.nBlocks; i++ {
 			if op, _ := g.owner(i, k); op == g.p {
 				r, _ := g.blockDims(i, k)
-				msg := g.c.Recv(root, tag2dGatherBase+k*g.nBlocks+i)
-				g.blocks[[2]int{i, k}].CopyFrom(unflatten(msg.F, r, w))
+				msg, err := g.c.Recv(root, tag2dGatherBase+k*g.nBlocks+i)
+				if err != nil {
+					return nil, err
+				}
+				seg, err := unflatten(msg.F, r, w)
+				if err != nil {
+					return nil, err
+				}
+				g.blocks[[2]int{i, k}].CopyFrom(seg)
 			}
 		}
 	}
@@ -186,11 +228,20 @@ func (g *grid2d) factorPanel(k int) []int {
 	if g.rank(g.p, g.q) == root {
 		for r := 0; r < g.P*g.Q; r++ {
 			if r != root {
-				g.c.Send(r, tag2dPivBase+k, nil, piv)
+				if err := g.c.Send(r, tag2dPivBase+k, nil, piv); err != nil {
+					return nil, err
+				}
 			}
 		}
 	} else {
-		piv = g.c.Recv(root, tag2dPivBase+k).I
+		msg, err := g.c.Recv(root, tag2dPivBase+k)
+		if err != nil {
+			return nil, err
+		}
+		piv = msg.I
+	}
+	if len(piv) != w {
+		return nil, fmt.Errorf("hpl: stage %d pivot payload has %d entries, want %d", k, len(piv), w)
 	}
 
 	// Record global pivots.
@@ -199,13 +250,13 @@ func (g *grid2d) factorPanel(k int) []int {
 		r2 := k*g.nb + pv
 		g.globalPiv[r1] = r2
 	}
-	return piv
+	return piv, nil
 }
 
 // swapRows applies the stage's pivot swaps to every block column except
 // the already-swapped panel column k. Rows on different process rows
 // exchange segments; same-process swaps are local.
-func (g *grid2d) swapRows(k int, piv []int) {
+func (g *grid2d) swapRows(k int, piv []int) error {
 	for j, pv := range piv {
 		r1 := k*g.nb + j
 		r2 := k*g.nb + pv
@@ -221,36 +272,63 @@ func (g *grid2d) swapRows(k int, piv []int) {
 			if _, oq := g.owner(0, jb); oq != g.q {
 				continue // not my process column
 			}
-			tag := tag2dSwapBase + (k*g.nb+j)*g.nBlocks + jb
-			switch {
-			case p1 == g.p && p2 == g.p:
-				// Both rows live here.
-				b1 := g.blocks[[2]int{i1, jb}]
-				b2 := g.blocks[[2]int{i2, jb}]
-				l1, l2 := r1%g.nb, r2%g.nb
-				row1, row2 := b1.Row(l1), b2.Row(l2)
-				for x := range row1 {
-					row1[x], row2[x] = row2[x], row1[x]
-				}
-			case p1 == g.p:
-				b := g.blocks[[2]int{i1, jb}]
-				row := b.Row(r1 % g.nb)
-				g.c.Send(g.rank(p2, g.q), tag, row, nil)
-				copy(row, g.c.Recv(g.rank(p2, g.q), tag).F)
-			case p2 == g.p:
-				b := g.blocks[[2]int{i2, jb}]
-				row := b.Row(r2 % g.nb)
-				g.c.Send(g.rank(p1, g.q), tag, row, nil)
-				copy(row, g.c.Recv(g.rank(p1, g.q), tag).F)
+			if err := g.swapOne(k, j, jb, r1, r2, i1, i2, p1, p2); err != nil {
+				return err
 			}
 		}
 	}
+	return nil
+}
+
+// swapOne exchanges one row pair within block column jb.
+func (g *grid2d) swapOne(k, j, jb, r1, r2, i1, i2, p1, p2 int) error {
+	tag := tag2dSwapBase + (k*g.nb+j)*g.nBlocks + jb
+	switch {
+	case p1 == g.p && p2 == g.p:
+		// Both rows live here.
+		b1 := g.blocks[[2]int{i1, jb}]
+		b2 := g.blocks[[2]int{i2, jb}]
+		l1, l2 := r1%g.nb, r2%g.nb
+		row1, row2 := b1.Row(l1), b2.Row(l2)
+		for x := range row1 {
+			row1[x], row2[x] = row2[x], row1[x]
+		}
+	case p1 == g.p:
+		b := g.blocks[[2]int{i1, jb}]
+		row := b.Row(r1 % g.nb)
+		if err := g.c.Send(g.rank(p2, g.q), tag, row, nil); err != nil {
+			return err
+		}
+		msg, err := g.c.Recv(g.rank(p2, g.q), tag)
+		if err != nil {
+			return err
+		}
+		if len(msg.F) != len(row) {
+			return fmt.Errorf("hpl: swap row payload %d != %d", len(msg.F), len(row))
+		}
+		copy(row, msg.F)
+	case p2 == g.p:
+		b := g.blocks[[2]int{i2, jb}]
+		row := b.Row(r2 % g.nb)
+		if err := g.c.Send(g.rank(p1, g.q), tag, row, nil); err != nil {
+			return err
+		}
+		msg, err := g.c.Recv(g.rank(p1, g.q), tag)
+		if err != nil {
+			return err
+		}
+		if len(msg.F) != len(row) {
+			return fmt.Errorf("hpl: swap row payload %d != %d", len(msg.F), len(row))
+		}
+		copy(row, msg.F)
+	}
+	return nil
 }
 
 // broadcastL sends the factored panel blocks along process rows: the
 // diagonal block (k,k) to row rootP's processes, and each L21 block (I,k)
 // to the processes of row I%P. Receivers stash them for the update.
-func (g *grid2d) broadcastL(k int) {
+func (g *grid2d) broadcastL(k int) error {
 	rootP, rootQ := g.owner(k, k)
 	g.stageL11 = nil
 	g.stageL21 = make(map[int]*matrix.Dense)
@@ -265,12 +343,20 @@ func (g *grid2d) broadcastL(k int) {
 			blk = g.blocks[[2]int{i, k}]
 			for qq := 0; qq < g.Q; qq++ {
 				if qq != g.q {
-					g.c.Send(g.rank(g.p, qq), tag2dLBase+k*g.nBlocks+i, flatten(blk), nil)
+					if err := g.c.Send(g.rank(g.p, qq), tag2dLBase+k*g.nBlocks+i, flatten(blk), nil); err != nil {
+						return err
+					}
 				}
 			}
 		} else {
 			r, c := g.blockDims(i, k)
-			blk = unflatten(g.c.Recv(g.rank(g.p, rootQ), tag2dLBase+k*g.nBlocks+i).F, r, c)
+			msg, err := g.c.Recv(g.rank(g.p, rootQ), tag2dLBase+k*g.nBlocks+i)
+			if err != nil {
+				return err
+			}
+			if blk, err = unflatten(msg.F, r, c); err != nil {
+				return err
+			}
 		}
 		if i == k {
 			if g.p == rootP {
@@ -280,11 +366,12 @@ func (g *grid2d) broadcastL(k int) {
 			g.stageL21[i] = blk
 		}
 	}
+	return nil
 }
 
 // solveAndBroadcastU computes U12 on the pivot process row and broadcasts
 // each U block down its process column.
-func (g *grid2d) solveAndBroadcastU(k int) {
+func (g *grid2d) solveAndBroadcastU(k int) error {
 	rootP, _ := g.owner(k, k)
 	g.stageU12 = make(map[int]*matrix.Dense)
 
@@ -299,19 +386,28 @@ func (g *grid2d) solveAndBroadcastU(k int) {
 			blas.Dtrsm(blas.Left, blas.Lower, false, blas.Unit, 1, g.stageL11, u)
 			for pp := 0; pp < g.P; pp++ {
 				if pp != g.p {
-					g.c.Send(g.rank(pp, g.q), tag2dUBase+k*g.nBlocks+j, flatten(u), nil)
+					if err := g.c.Send(g.rank(pp, g.q), tag2dUBase+k*g.nBlocks+j, flatten(u), nil); err != nil {
+						return err
+					}
 				}
 			}
 		} else {
 			r, c := g.blockDims(k, j)
-			u = unflatten(g.c.Recv(g.rank(rootP, g.q), tag2dUBase+k*g.nBlocks+j).F, r, c)
+			msg, err := g.c.Recv(g.rank(rootP, g.q), tag2dUBase+k*g.nBlocks+j)
+			if err != nil {
+				return err
+			}
+			if u, err = unflatten(msg.F, r, c); err != nil {
+				return err
+			}
 		}
 		g.stageU12[j] = u
 	}
+	return nil
 }
 
 // update applies A(I,J) -= L21(I)·U12(J) to every owned trailing block.
-func (g *grid2d) update(k int) {
+func (g *grid2d) update(k int) error {
 	for ij, blk := range g.blocks {
 		i, j := ij[0], ij[1]
 		if i <= k || j <= k {
@@ -320,8 +416,8 @@ func (g *grid2d) update(k int) {
 		l := g.stageL21[i]
 		u := g.stageU12[j]
 		if l == nil || u == nil {
-			panic(fmt.Sprintf("hpl: rank (%d,%d) missing stage-%d operands for block (%d,%d)",
-				g.p, g.q, k, i, j))
+			return fmt.Errorf("hpl: rank (%d,%d) missing stage-%d operands for block (%d,%d)",
+				g.p, g.q, k, i, j)
 		}
 		if g.offloadUpdates {
 			offloadUpdate(l, u, blk)
@@ -332,22 +428,24 @@ func (g *grid2d) update(k int) {
 			blas.RankKUpdate(l, u, blk, 1)
 		}
 	}
+	return nil
 }
 
 // gatherAndSolve assembles the factored matrix on rank 0, solves, and
 // checks the residual.
-func (g *grid2d) gatherAndSolve(full *matrix.Dense, rhs []float64, results []DistResult, errs []error) {
+func (g *grid2d) gatherAndSolve(full *matrix.Dense, rhs []float64, results []DistResult, errs []error) error {
 	me := g.rank(g.p, g.q)
 	if me != 0 {
 		for i := 0; i < g.nBlocks; i++ {
 			for j := 0; j < g.nBlocks; j++ {
 				if blk, ok := g.blocks[[2]int{i, j}]; ok {
-					g.c.Send(0, tag2dFinal+i*g.nBlocks+j, flatten(blk), nil)
+					if err := g.c.Send(0, tag2dFinal+i*g.nBlocks+j, flatten(blk), nil); err != nil {
+						return err
+					}
 				}
 			}
 		}
-		g.c.Send(0, tag2dFinal-1, nil, []int{boolToInt(g.firstError != nil)})
-		return
+		return g.c.Send(0, tag2dFinal-1, nil, singularFlag(g.firstError))
 	}
 
 	lu := matrix.NewDense(g.n, g.n)
@@ -358,15 +456,26 @@ func (g *grid2d) gatherAndSolve(full *matrix.Dense, rhs []float64, results []Dis
 			if op, oq := g.owner(i, j); op == 0 && oq == 0 {
 				dst.CopyFrom(g.blocks[[2]int{i, j}])
 			} else {
-				msg := g.c.Recv(g.rank(op, oq), tag2dFinal+i*g.nBlocks+j)
-				dst.CopyFrom(unflatten(msg.F, r, c))
+				msg, err := g.c.Recv(g.rank(op, oq), tag2dFinal+i*g.nBlocks+j)
+				if err != nil {
+					return err
+				}
+				blk, err := unflatten(msg.F, r, c)
+				if err != nil {
+					return err
+				}
+				dst.CopyFrom(blk)
 			}
 		}
 	}
 	firstErr := g.firstError
 	for r := 1; r < g.P*g.Q; r++ {
-		if msg := g.c.Recv(r, tag2dFinal-1); msg.I[0] != 0 && firstErr == nil {
-			firstErr = blas.ErrSingular
+		msg, err := g.c.Recv(r, tag2dFinal-1)
+		if err != nil {
+			return err
+		}
+		if e := singularFromFlag(msg.I); e != nil && firstErr == nil {
+			firstErr = e
 		}
 	}
 
@@ -378,4 +487,5 @@ func (g *grid2d) gatherAndSolve(full *matrix.Dense, rhs []float64, results []Dis
 		Panels:   g.nBlocks,
 	}
 	errs[0] = firstErr
+	return nil
 }

@@ -289,3 +289,31 @@ func TestDefaults(t *testing.T) {
 		t.Errorf("defaults: %+v", c)
 	}
 }
+
+func TestSimulateFTOverheadPricing(t *testing.T) {
+	base := Simulate(SimConfig{N: 84000, Cards: 1, Lookahead: PipelinedLookahead})
+	if base.FTOverheadFrac != 0 {
+		t.Fatalf("FT pricing off must report zero overhead, got %g", base.FTOverheadFrac)
+	}
+	ft := Simulate(SimConfig{N: 84000, Cards: 1, Lookahead: PipelinedLookahead,
+		FTLossRate: 1e-3, FTCheckpointEvery: 8})
+	if ft.FTOverheadFrac <= 0 || ft.FTOverheadFrac >= 0.5 {
+		t.Fatalf("FT overhead fraction %g out of the plausible band", ft.FTOverheadFrac)
+	}
+	if ft.Seconds <= base.Seconds || ft.Eff >= base.Eff {
+		t.Errorf("resilience must cost time: %.2fs/%.1f%% vs base %.2fs/%.1f%%",
+			ft.Seconds, ft.Eff*100, base.Seconds, base.Eff*100)
+	}
+	// More loss -> more resend traffic -> strictly more overhead.
+	lossy := Simulate(SimConfig{N: 84000, Cards: 1, Lookahead: PipelinedLookahead,
+		FTLossRate: 1e-2, FTCheckpointEvery: 8})
+	if lossy.FTOverheadFrac <= ft.FTOverheadFrac {
+		t.Errorf("overhead must grow with loss rate: %g vs %g", lossy.FTOverheadFrac, ft.FTOverheadFrac)
+	}
+	// Tighter checkpoint period -> more write-backs -> more overhead.
+	tight := Simulate(SimConfig{N: 84000, Cards: 1, Lookahead: PipelinedLookahead,
+		FTLossRate: 1e-3, FTCheckpointEvery: 2})
+	if tight.FTOverheadFrac <= ft.FTOverheadFrac {
+		t.Errorf("overhead must grow with checkpoint frequency: %g vs %g", tight.FTOverheadFrac, ft.FTOverheadFrac)
+	}
+}

@@ -31,11 +31,13 @@ func SolveDistributed2DHybrid(n, nb, p, q int, seed uint64) (DistResult, error) 
 	world := cluster.NewWorld(p*q, nBlocks*nBlocks+16)
 	results := make([]DistResult, p*q)
 	errs := make([]error, p*q)
-	world.Run(func(c *Comm) {
+	if err := world.Run(func(c *Comm) error {
 		g := &grid2d{c: c, P: p, Q: q, n: n, nb: nb, nBlocks: nBlocks, offloadUpdates: true}
 		g.p, g.q = c.Rank()/q, c.Rank()%q
-		g.run(seed, results, errs)
-	})
+		return g.run(seed, results, errs)
+	}); err != nil {
+		return results[0], err
+	}
 	for _, e := range errs {
 		if e != nil {
 			return results[0], e

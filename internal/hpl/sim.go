@@ -51,6 +51,13 @@ type SimConfig struct {
 	// Trace receives per-iteration region spans (Figure 9): names
 	// "DGEMM", "swap", "DTRSM", "Ubcast", "panel".
 	Trace *trace.Recorder
+	// FTLossRate > 0 prices the fault-tolerance machinery of the real
+	// solver into the projection: expected retransmission traffic at
+	// this per-message loss rate, ABFT checksum-column maintenance every
+	// iteration, and a super-step checkpoint write-back every
+	// FTCheckpointEvery panel stages.
+	FTLossRate        float64
+	FTCheckpointEvery int
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -81,6 +88,9 @@ type SimResult struct {
 	// CardIdleFrac is the fraction of run time the coprocessors idle
 	// (the quantity Figure 9 visualizes).
 	CardIdleFrac float64
+	// FTOverheadFrac is the fraction of run time spent on resilience
+	// (resends + checksum updates + checkpoints) when FT pricing is on.
+	FTOverheadFrac float64
 }
 
 // Calibration of the hybrid host model.
@@ -137,6 +147,8 @@ func Simulate(cfg SimConfig) SimResult {
 
 	total := 0.0
 	cardBusy := 0.0
+	ftTotal := 0.0
+	ftOn := cfg.FTLossRate > 0 || cfg.FTCheckpointEvery > 0
 
 	for i := 0; i < np; i++ {
 		mRem := n - (i+1)*nb // trailing dimension after this panel
@@ -208,6 +220,31 @@ func Simulate(cfg SimConfig) SimResult {
 			}
 		}
 
+		if ftOn {
+			// Resilience rides the bulk-synchronous critical path: every
+			// message this iteration carries expected retransmissions,
+			// the checksum columns get the update treatment, and the
+			// super-step boundary flushes the local panel to stable
+			// storage.
+			var ft float64
+			if cfg.FTLossRate > 0 {
+				msgBytes := 8 * (float64(panelRows)*float64(nb) + // panel bcast
+					2*float64(nb)*float64(nLoc)) // U bcast + swap exchange
+				ft += net.Resend(msgBytes, cfg.FTLossRate)
+			}
+			updRate := hostRate
+			if mLoc > 0 && nLoc > 0 {
+				updRate += offload.SteadyRate(mLoc, nLoc, off) * 1e9
+			}
+			ft += net.ChecksumUpdate(mLoc, nb, updRate)
+			if cfg.FTCheckpointEvery > 0 && (i+1)%cfg.FTCheckpointEvery == 0 && !last {
+				localBytes := 8 * float64(mLoc+nb) * float64(nLoc+nb)
+				ft += net.CheckpointWrite(localBytes)
+			}
+			iter += ft
+			ftTotal += ft
+		}
+
 		total += iter
 		cardBusy += tUpdate
 	}
@@ -215,11 +252,12 @@ func Simulate(cfg SimConfig) SimResult {
 	flops := perfmodel.LUFlops(n)
 	tf := flops / total / 1e12
 	return SimResult{
-		Config:       cfg,
-		Seconds:      total,
-		TFLOPS:       tf,
-		Eff:          tf * 1e12 / peak,
-		CardIdleFrac: 1 - cardBusy/total,
+		Config:         cfg,
+		Seconds:        total,
+		TFLOPS:         tf,
+		Eff:            tf * 1e12 / peak,
+		CardIdleFrac:   1 - cardBusy/total,
+		FTOverheadFrac: ftTotal / total,
 	}
 }
 

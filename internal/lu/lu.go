@@ -113,7 +113,9 @@ func (st *state) factorPanel(p int) error {
 		err = blas.Dgetf2(panel, local)
 	}
 	st.piv[p] = local
-	return err
+	// Panel columns are matrix-local: rebase a singular report to the
+	// absolute column so every driver names the same offender.
+	return blas.OffsetSingular(err, lo)
 }
 
 // finishLeftSwaps applies, stage by stage, each stage's row interchanges

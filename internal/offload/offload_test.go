@@ -7,6 +7,7 @@ import (
 
 	"phihpl/internal/blas"
 	"phihpl/internal/matrix"
+	"phihpl/internal/testutil"
 )
 
 func TestPlanTilesMergesPartials(t *testing.T) {
@@ -88,6 +89,7 @@ func TestStealQueueMeetsInMiddle(t *testing.T) {
 }
 
 func TestComputeMatchesDgemm(t *testing.T) {
+	defer testutil.NoLeaks(t)()
 	m, k, n := 95, 40, 83
 	a := matrix.RandomGeneral(m, k, 1)
 	b := matrix.RandomGeneral(k, n, 2)

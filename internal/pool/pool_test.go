@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"phihpl/internal/testutil"
 )
 
 func TestDoCoversAllIndices(t *testing.T) {
@@ -40,6 +42,7 @@ func TestDoSerialOrderWhenSingleWorker(t *testing.T) {
 }
 
 func TestDoConcurrentRegions(t *testing.T) {
+	defer testutil.NoLeaks(t)()
 	// Many regions in flight at once: every one must still complete (the
 	// saturated-queue path drops helpers, never work).
 	done := make(chan int64)

@@ -19,6 +19,11 @@
 package phihpl
 
 import (
+	"math"
+
+	"phihpl/internal/blas"
+	"phihpl/internal/cluster"
+	"phihpl/internal/fault"
 	"phihpl/internal/hpl"
 	"phihpl/internal/lu"
 	"phihpl/internal/matrix"
@@ -29,12 +34,52 @@ import (
 // ResidualThreshold is the HPL pass/fail bound on the scaled residual.
 const ResidualThreshold = matrix.ResidualThreshold
 
+// Typed failure modes, re-exported so callers can errors.Is/As against
+// them without importing the internal layers.
+var (
+	// ErrSingular: factorization hit an exactly zero or subnormal pivot.
+	// errors.As against *SingularError yields the offending global column.
+	ErrSingular = blas.ErrSingular
+	// ErrTimeout: a collective or point-to-point op exceeded the deadline.
+	ErrTimeout = cluster.ErrTimeout
+	// ErrRankFailed: a peer rank crashed or was declared dead.
+	ErrRankFailed = cluster.ErrRankFailed
+	// ErrChecksum: an ABFT super-step found corruption it could not repair.
+	ErrChecksum = hpl.ErrChecksum
+)
+
+// SingularError reports the first column whose pivot was zero/subnormal.
+type SingularError = blas.SingularError
+
+// FaultError is the structured report of an unrecoverable fault-tolerant
+// run: the iteration reached, restarts consumed, per-stage profile, and
+// the underlying cause.
+type FaultError = hpl.FaultError
+
+// FaultPlan is a deterministic fault-injection schedule (see ParseFaultPlan).
+type FaultPlan = fault.Plan
+
+// FTConfig configures the fault-tolerant solver.
+type FTConfig = hpl.FTConfig
+
+// FTStats reports recovery activity of a fault-tolerant run.
+type FTStats = hpl.FTStats
+
 // SolveResult reports a real (bit-exact) Linpack solve.
 type SolveResult struct {
 	X        []float64
 	Residual float64
 	Passed   bool
 	N        int
+	// FT carries recovery statistics when the fault-tolerant driver ran.
+	FT *FTStats
+}
+
+// passed applies the HPL verdict: a non-finite residual (NaN from a
+// poisoned solve, Inf from overflow) is always FAILED, never a silent
+// false comparison.
+func passed(res float64) bool {
+	return !math.IsNaN(res) && !math.IsInf(res, 0) && res < ResidualThreshold
 }
 
 // Scheduler selects the native LU driver.
@@ -65,7 +110,7 @@ func Solve(n int, sched Scheduler, nb, workers int, seed uint64) (SolveResult, e
 	if err != nil {
 		return SolveResult{}, err
 	}
-	return SolveResult{X: x, Residual: res, Passed: res < ResidualThreshold, N: n}, nil
+	return SolveResult{X: x, Residual: res, Passed: passed(res), N: n}, nil
 }
 
 // SolveDistributed runs the functional distributed Linpack on `ranks`
@@ -76,7 +121,7 @@ func SolveDistributed(n, nb, ranks int, seed uint64) (SolveResult, error) {
 	if err != nil {
 		return SolveResult{}, err
 	}
-	return SolveResult{X: r.X, Residual: r.Residual, Passed: r.Residual < ResidualThreshold, N: n}, nil
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n}, nil
 }
 
 // SolveDistributed2D runs the full HPL structure — a P×Q process grid
@@ -88,7 +133,7 @@ func SolveDistributed2D(n, nb, p, q int, seed uint64) (SolveResult, error) {
 	if err != nil {
 		return SolveResult{}, err
 	}
-	return SolveResult{X: r.X, Residual: r.Residual, Passed: r.Residual < ResidualThreshold, N: n}, nil
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n}, nil
 }
 
 // SolveHybrid2D is SolveDistributed2D with every trailing update executed
@@ -99,7 +144,29 @@ func SolveHybrid2D(n, nb, p, q int, seed uint64) (SolveResult, error) {
 	if err != nil {
 		return SolveResult{}, err
 	}
-	return SolveResult{X: r.X, Residual: r.Residual, Passed: r.Residual < ResidualThreshold, N: n}, nil
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n}, nil
+}
+
+// ParseFaultPlan parses a fault-injection spec like
+//
+//	"seed=7;drop=0.02;delay=0.01:2ms;corrupt=0.01;crash=3@2;stall=1@4:300ms;scrub=2@3"
+//
+// into a deterministic plan: the same spec always injects the same faults.
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.Parse(spec) }
+
+// SolveFaultTolerant2D is SolveDistributed2D hardened against the faults
+// scheduled in cfg.Plan: messages are retried over a lossy fabric, silent
+// data corruption is repaired from ABFT checksum columns carried through
+// the factorization, and rank crashes roll back to the last super-step
+// checkpoint. With an empty plan the result is bitwise identical to
+// SolveDistributed2D. On unrecoverable faults the error is a *FaultError
+// carrying the iteration reached and the per-stage profile.
+func SolveFaultTolerant2D(n, nb, p, q int, seed uint64, cfg FTConfig) (SolveResult, error) {
+	r, err := hpl.SolveDistributed2DFT(n, nb, p, q, seed, cfg)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n, FT: r.FT}, nil
 }
 
 // NativeLinpackSim prices a native Linpack run of order n on the simulated

@@ -1,8 +1,10 @@
 package phihpl
 
 import (
+	"math"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestSolveAllSchedulers(t *testing.T) {
@@ -135,5 +137,62 @@ func TestFacade2DSolvers(t *testing.T) {
 		if one.X[i] != r.X[i] {
 			t.Fatal("1D and 2D solutions must be bitwise identical")
 		}
+	}
+}
+
+func TestVerdictRejectsNonFiniteResidual(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if passed(bad) {
+			t.Errorf("residual %v must be FAILED", bad)
+		}
+	}
+	if !passed(0.5) {
+		t.Error("residual 0.5 must be PASSED")
+	}
+	if passed(ResidualThreshold) {
+		t.Error("the threshold itself is FAILED (strict bound)")
+	}
+}
+
+func TestFaultTolerantFacade(t *testing.T) {
+	plan, err := ParseFaultPlan("seed=5;drop=0.04;scrub=3@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := SolveFaultTolerant2D(64, 16, 2, 2, 11, FTConfig{
+		Plan: plan, CheckpointEvery: 2, MaxRestarts: 2, Timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed {
+		t.Errorf("residual %g FAILED under recoverable faults", r.Residual)
+	}
+	if r.FT == nil {
+		t.Fatal("fault-tolerant run must report FT stats")
+	}
+
+	// Empty plan: bitwise identical to the plain 2D driver, no recovery.
+	clean, err := SolveFaultTolerant2D(64, 16, 2, 2, 11, FTConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := SolveDistributed2D(64, 16, 2, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.X {
+		if clean.X[i] != ref.X[i] {
+			t.Fatal("empty fault plan must be bitwise identical to SolveDistributed2D")
+		}
+	}
+}
+
+func TestFaultPlanParseErrors(t *testing.T) {
+	if _, err := ParseFaultPlan("drop=2.5"); err == nil {
+		t.Error("out-of-range probability must be rejected")
+	}
+	if _, err := ParseFaultPlan("bogus=1"); err == nil {
+		t.Error("unknown key must be rejected")
 	}
 }
