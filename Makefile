@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz check clean
+.PHONY: all build test vet race bench benchjson fuzz check clean
 
 all: vet test
 
@@ -23,16 +23,24 @@ vet:
 # race: the numerics gate for the concurrent hot path. Runs vet plus the
 # race detector over the packages that share mutable state across
 # goroutines: the packed DGEMM fast path, the persistent worker pool, the
-# tile packers, the LU drivers built on top of them, and the fault-path
-# packages (message fabric + fault-tolerant distributed solver).
+# tile packers, the LU drivers built on top of them, the fault-path
+# packages (message fabric + fault-tolerant distributed solver), and the
+# observability layer they all feed (span recorder + metrics registry).
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/blas/... ./internal/pool/... ./internal/pack/... ./internal/lu/... ./internal/cluster/... ./internal/hpl/... ./internal/fault/...
+	$(GO) test -race ./internal/blas/... ./internal/pool/... ./internal/pack/... ./internal/lu/... ./internal/cluster/... ./internal/hpl/... ./internal/fault/... ./internal/trace/... ./internal/metrics/...
 
 # bench: the packed-path vs reference comparison (GFLOPS + steady-state
 # allocation counts).
 bench:
 	$(GO) test ./internal/blas -bench 'Dgemm|RankK' -benchmem -run xxx
+
+# benchjson: the machine-readable benchmark record — DgemmPacked vs
+# DgemmParallel at several sizes plus the dynamic-DAG LU, written to
+# BENCH_<yyyymmdd>.json (GFLOPS, ns/op, allocs/op). Diff two files to see
+# a regression as a number.
+benchjson:
+	$(GO) run ./cmd/benchjson
 
 # fuzz: a short deep-fuzz of the pack → micro-kernel → unpack chain.
 fuzz:

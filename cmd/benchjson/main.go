@@ -1,0 +1,152 @@
+// Command benchjson runs the repository's headline benchmarks — the
+// packed-tile DGEMM fast path against the row-split reference, plus the
+// dynamic DAG LU driver — and writes a machine-readable BENCH_<date>.json
+// (GFLOPS, ns/op, bytes/op, allocs/op per case). It seeds the repo's
+// performance trajectory: CI runs it at smoke sizes and archives the JSON
+// artifact, so regressions show up as a diffable number, not a feeling.
+//
+// Usage:
+//
+//	benchjson                        # default sizes, BENCH_<yyyymmdd>.json
+//	benchjson -sizes 96,128 -lun 128 -o BENCH_ci.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"phihpl/internal/blas"
+	"phihpl/internal/lu"
+	"phihpl/internal/matrix"
+	"phihpl/internal/perfmodel"
+)
+
+// caseResult is one benchmark row of the output file.
+type caseResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	GFLOPS      float64 `json:"gflops"`
+}
+
+// benchFile is the BENCH_<date>.json schema.
+type benchFile struct {
+	Date       string       `json:"date"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	Results    []caseResult `json:"results"`
+}
+
+func main() {
+	var (
+		sizes   = flag.String("sizes", "128,256,512", "comma-separated square DGEMM sizes")
+		lun     = flag.Int("lun", 512, "LU problem size for the dynamic-DAG case (0 skips)")
+		workers = flag.Int("workers", 4, "worker count for the parallel paths")
+		out     = flag.String("o", "", "output path (default BENCH_<yyyymmdd>.json)")
+	)
+	flag.Parse()
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().Format("20060102") + ".json"
+	}
+
+	file := benchFile{
+		Date:       time.Now().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    *workers,
+	}
+
+	for _, f := range strings.Split(*sizes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad size %q\n", f)
+			os.Exit(2)
+		}
+		file.Results = append(file.Results,
+			gemmCase("DgemmParallel", n, *workers, blas.DgemmParallel),
+			gemmCase("DgemmPacked", n, *workers, blas.DgemmPacked),
+		)
+	}
+
+	if *lun > 0 {
+		file.Results = append(file.Results, luCase(*lun, *workers))
+	}
+
+	b, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	for _, r := range file.Results {
+		fmt.Printf("%-14s n=%-5d %12.0f ns/op %8.2f GFLOPS %6d B/op %4d allocs/op\n",
+			r.Name, r.N, r.NsPerOp, r.GFLOPS, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Println("wrote", path)
+}
+
+// gemmDriver is the shared signature of DgemmParallel and DgemmPacked.
+type gemmDriver func(transA, transB bool, alpha float64, a, b *matrix.Dense, beta float64, c *matrix.Dense, workers int)
+
+// gemmCase benchmarks one n×n×n DGEMM through the given driver.
+func gemmCase(name string, n, workers int, f gemmDriver) caseResult {
+	a := matrix.RandomGeneral(n, n, 1)
+	x := matrix.RandomGeneral(n, n, 2)
+	c := matrix.NewDense(n, n)
+	f(false, false, -1, a, x, 1, c, workers) // warm pools and pack buffers
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f(false, false, -1, a, x, 1, c, workers)
+		}
+	})
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	return toCase(name, n, flops, r)
+}
+
+// luCase benchmarks the dynamic DAG factorization at order n (NB 64).
+func luCase(n, workers int) caseResult {
+	a := matrix.RandomGeneral(n, n, 3)
+	piv := make([]int, n)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			w := a.Clone()
+			b.StartTimer()
+			if err := lu.Dynamic(w, piv, lu.Options{NB: 64, Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return toCase("LuDynamic", n, perfmodel.LUFlops(n), r)
+}
+
+// toCase converts a testing.BenchmarkResult into the output row.
+func toCase(name string, n int, flops float64, r testing.BenchmarkResult) caseResult {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return caseResult{
+		Name:        name,
+		N:           n,
+		NsPerOp:     ns,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		GFLOPS:      flops / ns, // flops per ns == GFLOPS
+	}
+}

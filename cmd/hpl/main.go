@@ -6,10 +6,20 @@
 // Usage:
 //
 //	hpl -real -n 2000 -nb 64 -ranks 4          # real distributed solve
+//	hpl -native -n 1024 -workers 4 -trace out.json -metrics
+//	                                           # real DAG solve, Chrome trace + metrics
 //	hpl -n 960 -nb 64 -p 2 -q 2 -faults 'seed=7;drop=0.02;crash=3@2'
 //	                                           # fault-tolerant solve under injection
 //	hpl -n 84000 -cards 1 -mode pipelined      # hybrid projection
 //	hpl -n 825600 -p 10 -q 10 -cards 1 -mode pipelined
+//
+// Observability: -trace FILE writes Chrome trace-event JSON (open in
+// chrome://tracing or ui.perfetto.dev) of whatever real work ran — the
+// dynamic DAG scheduler's per-worker PanelFact/Update spans for -native,
+// per-rank super-step spans for fault-tolerant runs, the virtual-time
+// region timeline for projections. -metrics prints a registry snapshot
+// (packed-DGEMM bytes, pool drops, transport resends/timeouts, FT
+// rollbacks) after the run; -gantt additionally renders the ASCII chart.
 package main
 
 import (
@@ -22,22 +32,34 @@ import (
 	"time"
 
 	"phihpl"
+	"phihpl/internal/blas"
+	"phihpl/internal/cluster"
+	"phihpl/internal/hpl"
 	"phihpl/internal/hplio"
+	"phihpl/internal/metrics"
+	"phihpl/internal/pool"
+	"phihpl/internal/trace"
 )
 
 func main() {
 	var (
-		dat   = flag.String("dat", "", "run every combination in an HPL.dat-style file (use '-' for a built-in example)")
-		real  = flag.Bool("real", false, "run a real, residual-checked solve instead of a projection")
-		n     = flag.Int("n", 84000, "problem size")
-		nb    = flag.Int("nb", 0, "block size (0 = default: 64 real, 1200 hybrid)")
-		p     = flag.Int("p", 1, "process rows")
-		q     = flag.Int("q", 1, "process columns")
-		ranks = flag.Int("ranks", 4, "ranks for -real distributed solve")
-		cards = flag.Int("cards", 1, "coprocessor cards per node (0 = CPU only)")
-		mem   = flag.Int("mem", 64, "host memory per node (GiB)")
-		mode  = flag.String("mode", "pipelined", "look-ahead: none | basic | pipelined")
-		seed  = flag.Uint64("seed", 1, "matrix seed for -real")
+		dat     = flag.String("dat", "", "run every combination in an HPL.dat-style file (use '-' for a built-in example)")
+		real    = flag.Bool("real", false, "run a real, residual-checked solve instead of a projection")
+		native  = flag.Bool("native", false, "run a real single-process solve with the dynamic DAG scheduler")
+		n       = flag.Int("n", 84000, "problem size")
+		nb      = flag.Int("nb", 0, "block size (0 = default: 64 real, 1200 hybrid)")
+		p       = flag.Int("p", 1, "process rows")
+		q       = flag.Int("q", 1, "process columns")
+		ranks   = flag.Int("ranks", 4, "ranks for -real distributed solve")
+		workers = flag.Int("workers", 4, "thread groups for -native")
+		cards   = flag.Int("cards", 1, "coprocessor cards per node (0 = CPU only)")
+		mem     = flag.Int("mem", 64, "host memory per node (GiB)")
+		mode    = flag.String("mode", "pipelined", "look-ahead: none | basic | pipelined")
+		seed    = flag.Uint64("seed", 1, "matrix seed for -real/-native")
+
+		traceOut = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file")
+		metricsF = flag.Bool("metrics", false, "print a metrics snapshot after the run")
+		gantt    = flag.Bool("gantt", false, "with -trace: also render the ASCII Gantt chart")
 
 		faults   = flag.String("faults", "", "fault-injection plan for a fault-tolerant real solve on the P×Q grid, e.g. 'seed=7;drop=0.02;crash=3@2;scrub=1@4' ('' with -ft runs the FT solver fault-free)")
 		ft       = flag.Bool("ft", false, "run the fault-tolerant solver even with no -faults plan")
@@ -47,8 +69,57 @@ func main() {
 	)
 	flag.Parse()
 
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = new(trace.Recorder)
+	}
+	var reg *metrics.Registry
+	if *metricsF {
+		reg = metrics.NewRegistry()
+	}
+	if reg != nil {
+		// Metrics flow from every layer; spans stay with the solver that
+		// owns the timeline so the trace has one coherent worker axis.
+		pool.SetObservability(nil, reg)
+		blas.SetObservability(nil, reg)
+		cluster.SetMetrics(reg)
+		hpl.SetMetrics(reg)
+	}
+
+	if *native {
+		bs := *nb
+		if bs == 0 {
+			bs = 64
+		}
+		start := time.Now()
+		res, err := phihpl.SolveTraced(*n, phihpl.DynamicDAG, bs, *workers, *seed, rec)
+		elapsed := time.Since(start).Seconds()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if reg != nil {
+			reg.Gauge("hpl.gflops").Set(phihpl.LUFlops(*n) / elapsed / 1e9)
+			reg.Gauge("hpl.seconds").Set(elapsed)
+		}
+		status := "PASSED"
+		if !res.Passed {
+			status = "FAILED"
+		}
+		fmt.Printf("N=%d NB=%d workers=%d sched=dynamic %.3fs %.2f GFLOPS\n",
+			*n, bs, *workers, elapsed, phihpl.LUFlops(*n)/elapsed/1e9)
+		fmt.Printf("||Ax-b||_oo/(eps*(||A||_oo*||x||_oo+||b||_oo)*N) = %10.7f ...... %s\n",
+			res.Residual, status)
+		finishObservability(rec, *traceOut, *gantt, reg)
+		if !res.Passed {
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *faults != "" || *ft {
-		runFaultTolerant(*n, *nb, *p, *q, *seed, *faults, *ftTime, *ckEvery, *restarts)
+		runFaultTolerant(*n, *nb, *p, *q, *seed, *faults, *ftTime, *ckEvery, *restarts, rec)
+		finishObservability(rec, *traceOut, *gantt, reg)
 		return
 	}
 
@@ -70,6 +141,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
+		finishObservability(rec, *traceOut, *gantt, reg)
 		return
 	}
 
@@ -86,6 +158,7 @@ func main() {
 		fmt.Printf("N=%d ranks=%d\n", *n, *ranks)
 		fmt.Printf("||Ax-b||_oo/(eps*(||A||_oo*||x||_oo+||b||_oo)*N) = %10.7f ...... %s\n",
 			res.Residual, status)
+		finishObservability(rec, *traceOut, *gantt, reg)
 		if !res.Passed {
 			os.Exit(1)
 		}
@@ -95,6 +168,7 @@ func main() {
 	var la phihpl.HybridConfig
 	la.N, la.NB, la.P, la.Q = *n, *nb, *p, *q
 	la.Cards, la.HostMemGiB = *cards, *mem
+	la.Trace = rec
 	switch *mode {
 	case "none":
 		la.Lookahead = phihpl.NoLookahead
@@ -113,17 +187,48 @@ func main() {
 		*mode, la.N, maxInt(la.NB, 1200), la.P, la.Q, r.Seconds, r.TFLOPS*1000)
 	fmt.Printf("efficiency: %.1f%% of node peak, coprocessor idle: %.1f%%\n",
 		r.Eff*100, r.CardIdleFrac*100)
+	finishObservability(rec, *traceOut, *gantt, reg)
+}
+
+// finishObservability writes the Chrome trace file (and optional ASCII
+// Gantt) and prints the metrics snapshot, after whatever run happened.
+func finishObservability(rec *trace.Recorder, tracePath string, gantt bool, reg *metrics.Registry) {
+	if rec != nil && tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %d spans -> %s (open in chrome://tracing or ui.perfetto.dev)\n",
+			len(rec.Spans()), tracePath)
+		if gantt {
+			fmt.Print(rec.Gantt(100))
+		}
+	}
+	if reg != nil {
+		fmt.Println("metrics:")
+		reg.WriteText(os.Stdout)
+	}
 }
 
 // runFaultTolerant drives the checksum-protected distributed solver under
 // an optional injected fault plan and reports the recovery activity. An
 // unrecoverable run exits non-zero with the structured fault report
 // instead of hanging or printing a bogus residual.
-func runFaultTolerant(n, nb, p, q int, seed uint64, spec string, timeout time.Duration, ckptEvery, maxRestarts int) {
+func runFaultTolerant(n, nb, p, q int, seed uint64, spec string, timeout time.Duration, ckptEvery, maxRestarts int, rec *trace.Recorder) {
 	if nb == 0 {
 		nb = 64
 	}
-	cfg := phihpl.FTConfig{Timeout: timeout, CheckpointEvery: ckptEvery, MaxRestarts: maxRestarts}
+	cfg := phihpl.FTConfig{Timeout: timeout, CheckpointEvery: ckptEvery, MaxRestarts: maxRestarts, Trace: rec}
 	if spec != "" {
 		plan, err := phihpl.ParseFaultPlan(spec)
 		if err != nil {

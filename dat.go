@@ -24,6 +24,13 @@ func RunDat(r io.Reader, w io.Writer, realBelow int) error {
 	var results []hplio.Result
 	for _, c := range params.Combinations() {
 		res := hplio.Result{Combination: c, Residual: -1}
+		if c.N < 1 || c.NB < 1 || c.P < 1 || c.Q < 1 {
+			// Illegal input values: counted in the report footer instead
+			// of crashing the sweep, like the reference HPL.
+			res.Skipped = true
+			results = append(results, res)
+			continue
+		}
 		if c.N <= realBelow {
 			dr, err := hpl.SolveDistributed2D(c.N, c.NB, c.P, c.Q, 0x5eed)
 			if err != nil {

@@ -37,6 +37,36 @@ func TestRunDatMixedRealAndSim(t *testing.T) {
 	}
 }
 
+func TestRunDatSkipsIllegalCombinations(t *testing.T) {
+	// A non-positive N must be skipped and counted in the footer, not run
+	// (the real solver would reject it) nor priced by the simulator.
+	in := `HPLinpack benchmark input file
+2        # of problems sizes (N)
+0 240    Ns
+1        # of NBs
+48       NBs
+1        # of process grids (P x Q)
+1        Ps
+1        Qs
+1        # of lookahead depth
+1        DEPTHs
+`
+	var out strings.Builder
+	if err := RunDat(strings.NewReader(in), &out, 2000); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "1 tests skipped because of illegal input values") {
+		t.Errorf("skipped count missing:\n%s", s)
+	}
+	if !strings.Contains(s, "Finished      1 tests") {
+		t.Errorf("finished count must exclude the skipped combination:\n%s", s)
+	}
+	if got := strings.Count(s, "WR"); got != 1 {
+		t.Errorf("expected 1 result row, got %d:\n%s", got, s)
+	}
+}
+
 func TestRunDatParseError(t *testing.T) {
 	if err := RunDat(strings.NewReader("garbage"), &strings.Builder{}, 0); err == nil {
 		t.Error("expected parse error")

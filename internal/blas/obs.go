@@ -1,0 +1,35 @@
+package blas
+
+import (
+	"sync/atomic"
+
+	"phihpl/internal/metrics"
+	"phihpl/internal/trace"
+)
+
+// Observability hooks for the packed DGEMM fast path. All sinks default
+// to nil: the uninstrumented DgemmPacked pays one atomic pointer load and
+// a few nil-safe counter calls per invocation and allocates nothing.
+var (
+	obsTrace     atomic.Pointer[trace.Recorder]
+	mPackedCalls atomic.Pointer[metrics.Counter]
+	mBytesPacked atomic.Pointer[metrics.Counter]
+	mPackedFlops atomic.Pointer[metrics.Counter]
+)
+
+// SetObservability attaches a span recorder and a metrics registry to the
+// packed DGEMM fast path. Either may be nil to disable that side.
+//
+// Spans (on worker 0, iter = K-block index): "pack" covers the parallel
+// packing of one K-block's A strip and B tiles, "compute" the outer
+// product over the packed tiles — the two phases of Section III whose
+// ratio decides the PackedMinK crossover.
+//
+// Counters: blas.packed_calls, blas.bytes_packed (bytes written into the
+// packing buffers), blas.packed_flops (2·m·n·k per call).
+func SetObservability(rec *trace.Recorder, reg *metrics.Registry) {
+	obsTrace.Store(rec)
+	mPackedCalls.Store(reg.Counter("blas.packed_calls"))
+	mBytesPacked.Store(reg.Counter("blas.bytes_packed"))
+	mPackedFlops.Store(reg.Counter("blas.packed_flops"))
+}

@@ -85,6 +85,10 @@ func DgemmPacked(transA, transB bool, alpha float64, a, b *matrix.Dense, beta fl
 	pb := packBufs.Get().(*packBuf)
 	defer packBufs.Put(pb)
 
+	rec := obsTrace.Load()
+	mPackedCalls.Load().Inc()
+	mPackedFlops.Load().Add(2 * int64(m) * int64(n) * int64(k))
+
 	for k0 := 0; k0 < k; k0 += packKC {
 		kb := packKC
 		if k0+kb > k {
@@ -93,9 +97,14 @@ func DgemmPacked(transA, transB bool, alpha float64, a, b *matrix.Dense, beta fl
 		aData, bData := pb.take(aTiles*pack.DefaultTileM*kb, bTiles*kb*pack.TileN)
 		pa := &pack.A{M: m, K: kb, TileM: pack.DefaultTileM, Data: aData}
 		pkb := &pack.B{K: kb, N: n, Data: bData}
+		mBytesPacked.Load().Add(8 * int64(len(aData)+len(bData)))
 
 		// Pack both panels in parallel: tiles are independent, so the a-
 		// and b-tile index spaces are fused into one work list.
+		var t0 float64
+		if rec != nil {
+			t0 = rec.Start()
+		}
 		pool.Do(aTiles+bTiles, workers, func(t int) {
 			if t < aTiles {
 				pack.PackATileOp(pa, a, transA, alpha, k0, t)
@@ -103,6 +112,10 @@ func DgemmPacked(transA, transB bool, alpha float64, a, b *matrix.Dense, beta fl
 				pack.PackBTileOp(pkb, b, transB, k0, t-aTiles)
 			}
 		})
+		if rec != nil {
+			rec.Since(0, "pack", k0/packKC, t0)
+			t0 = rec.Start()
+		}
 
 		// Outer product: the (aTile, bTile) grid updates disjoint TileM×8
 		// blocks of C, claimed by atomic work stealing over the pool.
@@ -113,6 +126,9 @@ func DgemmPacked(transA, transB bool, alpha float64, a, b *matrix.Dense, beta fl
 			off := ta*pack.DefaultTileM*c.Stride + tb*pack.TileN
 			pack.MicroKernel(pa.Tile(ta), pa.TileM, kb, pkb.Tile(tb), c.Data[off:], c.Stride, rows, cols)
 		})
+		if rec != nil {
+			rec.Since(0, "compute", k0/packKC, t0)
+		}
 	}
 }
 

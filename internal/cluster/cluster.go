@@ -457,6 +457,7 @@ func (b *barrier) await(w *World) error {
 		b.mu.Unlock()
 		return err
 	case <-timerC:
+		mTimeouts.Load().Inc()
 		return b.breakGen(g, ErrTimeout)
 	case <-w.abort:
 		return b.breakGen(g, ErrAborted)

@@ -1,0 +1,28 @@
+package cluster
+
+import (
+	"sync/atomic"
+
+	"phihpl/internal/metrics"
+)
+
+// Fabric-wide metric sinks. Per-world recovery counts stay on World.Stats;
+// these hooks additionally aggregate across every world in the process so
+// a CLI run (which may respawn worlds after faults) reports one total.
+// All default to nil: the uninstrumented transport pays one atomic load
+// per event and allocates nothing.
+var (
+	mResends  atomic.Pointer[metrics.Counter]
+	mTimeouts atomic.Pointer[metrics.Counter]
+	mRejects  atomic.Pointer[metrics.Counter]
+)
+
+// SetMetrics attaches a metrics registry to the fabric (nil detaches).
+// Counters registered: cluster.resends (retransmissions after an ack
+// timeout), cluster.timeouts (operations that returned ErrTimeout),
+// cluster.checksum_rejects (packets discarded as corrupt on receive).
+func SetMetrics(reg *metrics.Registry) {
+	mResends.Store(reg.Counter("cluster.resends"))
+	mTimeouts.Store(reg.Counter("cluster.timeouts"))
+	mRejects.Store(reg.Counter("cluster.checksum_rejects"))
+}

@@ -76,6 +76,7 @@ func (c *Comm) Send(dst, tag int, f []float64, ints []int) error {
 	case <-w.abort:
 		return &OpError{Rank: c.rank, Op: "send", Peer: dst, Tag: tag, Err: ErrAborted}
 	case <-timerC:
+		mTimeouts.Load().Inc()
 		return &OpError{Rank: c.rank, Op: "send", Peer: dst, Tag: tag, Err: ErrTimeout}
 	}
 }
@@ -101,6 +102,7 @@ func (c *Comm) Recv(src, tag int) (Msg, error) {
 		if w.lossy {
 			if pkt.sum != msgChecksum(pkt.msg) {
 				w.rejects.Add(1)
+				mRejects.Load().Inc()
 				continue // no ack: the sender retransmits a clean copy
 			}
 			exp := w.recvSeq[src][c.rank]
@@ -152,6 +154,7 @@ func (c *Comm) nextPacket(src, tag int, timerC <-chan time.Time) (packet, error)
 			return packet{}, &OpError{Rank: c.rank, Op: "recv", Peer: src, Tag: tag, Err: ErrAborted}
 		}
 	case <-timerC:
+		mTimeouts.Load().Inc()
 		return packet{}, &OpError{Rank: c.rank, Op: "recv", Peer: src, Tag: tag, Err: ErrTimeout}
 	}
 }
@@ -210,6 +213,7 @@ func (w *World) linkWorker(src, dst int) {
 				return
 			}
 			w.resends.Add(1)
+			mResends.Load().Inc()
 		}
 	}
 }

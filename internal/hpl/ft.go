@@ -9,6 +9,7 @@ import (
 	"phihpl/internal/cluster"
 	"phihpl/internal/fault"
 	"phihpl/internal/matrix"
+	"phihpl/internal/trace"
 )
 
 // ErrChecksum is returned when ABFT verification finds corruption it
@@ -35,6 +36,11 @@ type FTConfig struct {
 	Watchdog time.Duration
 	// Logf receives watchdog dumps.
 	Logf func(format string, args ...any)
+	// Trace, when non-nil, receives one wall-clock span per rank per
+	// super-step phase (worker = rank, name = "stage" / "verify" /
+	// "checkpoint", iter = the outer stage) — the measured multi-rank
+	// timeline of the FT protocol. Nil records nothing.
+	Trace *trace.Recorder
 }
 
 // FTStats counts the recovery work a fault-tolerant solve performed.
@@ -189,6 +195,7 @@ func SolveDistributed2DFT(n, nb, p, q int, seed uint64, cfg FTConfig) (DistResul
 				Err:      lastErr,
 			}
 		}
+		mFTRestarts.Load().Inc() // a rollback/respawn is about to happen
 	}
 }
 
@@ -228,12 +235,14 @@ func (f *ftGrid) runFT(seed uint64, results []DistResult, errs []error) error {
 	for k := start; k < f.nBlocks; k++ {
 		f.store.noteIter(k)
 		t0 := time.Now()
+		ts := f.cfg.Trace.Start()
 		if err := f.c.Progress(k); err != nil {
 			return err
 		}
 		if err := f.ftStage(k); err != nil {
 			return err
 		}
+		f.cfg.Trace.Since(f.me(), "stage", k, ts)
 		if f.in.ScrubAt(f.me(), k) {
 			// Silent data corruption strikes a trailing block after the
 			// stage's updates; the next super-step verifies it while the
@@ -243,10 +252,15 @@ func (f *ftGrid) runFT(seed uint64, results []DistResult, errs []error) error {
 			f.scrubBlock(k)
 		}
 		if (k+1)%f.cfg.CheckpointEvery == 0 && k+1 < f.nBlocks {
+			ts = f.cfg.Trace.Start()
 			if err := f.verify(k); err != nil {
 				return err
 			}
+			f.cfg.Trace.Since(f.me(), "verify", k, ts)
+			ts = f.cfg.Trace.Start()
 			f.checkpoint(k)
+			f.cfg.Trace.Since(f.me(), "checkpoint", k, ts)
+			mFTCheckpoints.Load().Inc()
 		}
 		if f.me() == 0 {
 			*f.profile = append(*f.profile, StageProfile{Stage: k, Seconds: time.Since(t0).Seconds()})

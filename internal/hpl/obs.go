@@ -1,0 +1,24 @@
+package hpl
+
+import (
+	"sync/atomic"
+
+	"phihpl/internal/metrics"
+)
+
+// Metric sinks of the fault-tolerant driver. Per-run totals remain on
+// FTStats; these aggregate across runs for the CLI's -metrics dump. All
+// default to nil (no overhead, no allocation).
+var (
+	mFTRestarts    atomic.Pointer[metrics.Counter]
+	mFTCheckpoints atomic.Pointer[metrics.Counter]
+)
+
+// SetMetrics attaches a metrics registry to the fault-tolerant solver
+// (nil detaches). Counters registered: hpl.ft_restarts (world respawns
+// after unrecoverable faults — the rollback count), hpl.ft_checkpoints
+// (promoted super-step checkpoints).
+func SetMetrics(reg *metrics.Registry) {
+	mFTRestarts.Store(reg.Counter("hpl.ft_restarts"))
+	mFTCheckpoints.Store(reg.Counter("hpl.ft_checkpoints"))
+}

@@ -115,7 +115,12 @@ const (
 // MaxProblemSize returns the largest N (rounded down to a multiple of nb)
 // whose matrix fits in 85% of the cluster's aggregate host memory —
 // how Table III's N values follow from the 64/128 GB configurations.
+// Non-positive nodes, memory or nb yield 0 (no representable problem)
+// instead of a division-by-zero panic.
 func MaxProblemSize(nodes, memGiB, nb int) int {
+	if nodes <= 0 || memGiB <= 0 || nb <= 0 {
+		return 0
+	}
 	bytes := float64(nodes) * float64(memGiB) * float64(1<<30) * 0.85
 	n := int(math.Sqrt(bytes / 8))
 	return n - n%nb

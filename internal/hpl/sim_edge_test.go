@@ -1,0 +1,28 @@
+package hpl
+
+import "testing"
+
+// Regression: MaxProblemSize divided by nb without guarding degenerate
+// inputs, so nb=0 panicked (integer modulo by zero) and negative arguments
+// produced garbage sizes. All degenerate configurations now report 0 —
+// "no problem fits".
+func TestMaxProblemSizeDegenerateInputs(t *testing.T) {
+	cases := []struct{ nodes, memGiB, nb int }{
+		{1, 64, 0},
+		{1, 64, -128},
+		{0, 64, 1200},
+		{-3, 64, 1200},
+		{1, 0, 1200},
+		{1, -16, 1200},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := MaxProblemSize(c.nodes, c.memGiB, c.nb); got != 0 {
+			t.Errorf("MaxProblemSize(%d, %d, %d) = %d, want 0", c.nodes, c.memGiB, c.nb, got)
+		}
+	}
+	// Sanity: a real configuration still reports a positive multiple of NB.
+	if n := MaxProblemSize(1, 64, 1200); n <= 0 || n%1200 != 0 {
+		t.Errorf("valid configuration regressed: %d", n)
+	}
+}

@@ -159,26 +159,33 @@ func Example() string {
 `
 }
 
-// Result is one completed run for the report writer.
+// Result is one completed (or skipped) run for the report writer.
 type Result struct {
 	Combination
 	Seconds  float64
 	GFLOPS   float64
 	Residual float64 // negative when not measured (virtual-time runs)
 	Passed   bool
+	// Skipped marks a combination rejected for illegal input values; it
+	// prints no WR or residual line but is counted in the report footer.
+	Skipped bool
 }
 
-// WriteReport renders results in the HPL.out layout.
+// WriteReport renders results in the HPL.out layout. Skipped combinations
+// contribute only to the footer's skipped count, like the reference HPL.
 func WriteReport(w io.Writer, results []Result) {
 	fmt.Fprintf(w, "%-14s %9s %5s %5s %5s %12s %14s\n",
 		"T/V", "N", "NB", "P", "Q", "Time", "Gflops")
 	fmt.Fprintln(w, strings.Repeat("-", 72))
 	for _, r := range results {
+		if r.Skipped {
+			continue
+		}
 		fmt.Fprintf(w, "WR%-2d%-10s %9d %5d %5d %5d %12.2f %14.4e\n",
 			r.Depth, "C2C4", r.N, r.NB, r.P, r.Q, r.Seconds, r.GFLOPS)
 	}
 	for _, r := range results {
-		if r.Residual >= 0 {
+		if !r.Skipped && r.Residual >= 0 {
 			status := "PASSED"
 			if !r.Passed {
 				status = "FAILED"
@@ -187,8 +194,12 @@ func WriteReport(w io.Writer, results []Result) {
 				r.Residual, status)
 		}
 	}
-	passed, failed := 0, 0
+	passed, failed, skipped := 0, 0, 0
 	for _, r := range results {
+		if r.Skipped {
+			skipped++
+			continue
+		}
 		if r.Residual < 0 {
 			continue
 		}
@@ -199,10 +210,10 @@ func WriteReport(w io.Writer, results []Result) {
 		}
 	}
 	fmt.Fprintln(w, strings.Repeat("-", 72))
-	fmt.Fprintf(w, "Finished %6d tests with the following results:\n", len(results))
+	fmt.Fprintf(w, "Finished %6d tests with the following results:\n", len(results)-skipped)
 	fmt.Fprintf(w, "         %6d tests completed and passed residual checks,\n", passed)
 	fmt.Fprintf(w, "         %6d tests completed and failed residual checks,\n", failed)
-	fmt.Fprintf(w, "         %6d tests skipped because of illegal input values.\n", 0)
+	fmt.Fprintf(w, "         %6d tests skipped because of illegal input values.\n", skipped)
 }
 
 // SortResults orders results the way HPL prints them (by grid, N, NB, depth).

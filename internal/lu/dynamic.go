@@ -16,11 +16,28 @@ import (
 // dependencies resolve.
 //
 // The factors and pivots are bitwise identical to Sequential and
-// StaticLookahead.
+// StaticLookahead. With opts.Trace attached, every executed task emits a
+// per-worker wall-clock span (PanelFact/Update), which is the real
+// measured counterpart of the paper's Figure 7 Gantt chart.
 func Dynamic(a *matrix.Dense, piv []int, opts Options) error {
+	_, err := runDynamic(a, piv, opts)
+	return err
+}
+
+// DynamicStats factors like Dynamic and additionally returns the scheduler
+// statistics (critical-section entries, tasks issued), which back the
+// contention ablation in the benchmarks.
+func DynamicStats(a *matrix.Dense, piv []int, opts Options) (dag.Stats, error) {
+	sched, err := runDynamic(a, piv, opts)
+	return sched.Stats(), err
+}
+
+// runDynamic is the shared driver behind Dynamic and DynamicStats.
+func runDynamic(a *matrix.Dense, piv []int, opts Options) (*dag.Scheduler, error) {
 	opts = opts.withDefaults(a.Cols)
 	st := newState(a, opts)
 	sched := dag.New(st.np)
+	rec := opts.Trace
 
 	var (
 		wg       sync.WaitGroup
@@ -29,7 +46,7 @@ func Dynamic(a *matrix.Dense, piv []int, opts Options) error {
 	)
 	for g := 0; g < opts.Workers; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			for {
 				task, ok := sched.Next()
@@ -41,53 +58,9 @@ func Dynamic(a *matrix.Dense, piv []int, opts Options) error {
 					runtime.Gosched()
 					continue
 				}
-				switch task.Kind {
-				case dag.PanelFact:
-					if err := st.factorPanel(task.Panel); err != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						errMu.Unlock()
-					}
-				case dag.Update:
-					st.updatePanel(task.Stage, task.Panel, 1)
-				}
-				sched.Complete(task)
-			}
-		}()
-	}
-	wg.Wait()
-
-	st.finishLeftSwaps()
-	st.globalPivots(piv)
-	return firstErr
-}
-
-// DynamicStats factors like Dynamic and additionally returns the scheduler
-// statistics (critical-section entries, tasks issued), which back the
-// contention ablation in the benchmarks.
-func DynamicStats(a *matrix.Dense, piv []int, opts Options) (dag.Stats, error) {
-	opts = opts.withDefaults(a.Cols)
-	st := newState(a, opts)
-	sched := dag.New(st.np)
-	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
-	)
-	for g := 0; g < opts.Workers; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				task, ok := sched.Next()
-				if !ok {
-					if sched.Done() {
-						return
-					}
-					runtime.Gosched()
-					continue
+				var t0 float64
+				if rec != nil {
+					t0 = rec.Start()
 				}
 				switch task.Kind {
 				case dag.PanelFact:
@@ -101,12 +74,16 @@ func DynamicStats(a *matrix.Dense, piv []int, opts Options) (dag.Stats, error) {
 				case dag.Update:
 					st.updatePanel(task.Stage, task.Panel, 1)
 				}
+				if rec != nil {
+					rec.Since(g, task.Kind.String(), task.Stage, t0)
+				}
 				sched.Complete(task)
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
+
 	st.finishLeftSwaps()
 	st.globalPivots(piv)
-	return sched.Stats(), firstErr
+	return sched, firstErr
 }

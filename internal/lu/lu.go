@@ -19,6 +19,7 @@ import (
 
 	"phihpl/internal/blas"
 	"phihpl/internal/matrix"
+	"phihpl/internal/trace"
 )
 
 // Options configure a factorization driver.
@@ -34,6 +35,12 @@ type Options struct {
 	// identical factors; the recursive one turns most panel flops into
 	// DGEMM, which is what made the paper's panels fast.
 	RecursivePanel bool
+	// Trace, when non-nil, receives one wall-clock span per executed task
+	// from the dynamic scheduler — worker = thread-group id, name =
+	// "PanelFact" or "Update", iter = the task's stage — producing the
+	// real-execution Gantt chart of Figure 7. Nil (the default) records
+	// nothing and adds no overhead to the task loop.
+	Trace *trace.Recorder
 }
 
 // withDefaults fills unset options.

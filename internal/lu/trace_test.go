@@ -1,0 +1,79 @@
+package lu
+
+import (
+	"testing"
+
+	"phihpl/internal/matrix"
+	"phihpl/internal/trace"
+)
+
+// The dynamic scheduler with a recorder attached must produce the same
+// factorization as without one, and emit per-worker PanelFact/Update spans
+// — the real-execution counterpart of the paper's Figure 7 Gantt chart.
+func TestDynamicTraceSpans(t *testing.T) {
+	const n, nb, workers = 192, 32, 3
+	a := matrix.RandomGeneral(n, n, 7)
+	plain := a.Clone()
+	pivPlain := make([]int, n)
+	if err := Dynamic(plain, pivPlain, Options{NB: nb, Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := new(trace.Recorder)
+	traced := a.Clone()
+	pivTraced := make([]int, n)
+	if err := Dynamic(traced, pivTraced, Options{NB: nb, Workers: workers, Trace: rec}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !matrix.Equal(plain, traced) {
+		t.Error("tracing changed the factorization")
+	}
+	for i := range pivPlain {
+		if pivPlain[i] != pivTraced[i] {
+			t.Fatalf("pivot %d: %d vs %d", i, pivPlain[i], pivTraced[i])
+		}
+	}
+
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded")
+	}
+	stages := n / nb
+	sawPanel, sawUpdate := false, false
+	for _, s := range spans {
+		switch s.Name {
+		case "PanelFact":
+			sawPanel = true
+		case "Update":
+			sawUpdate = true
+		default:
+			t.Fatalf("unexpected span name %q", s.Name)
+		}
+		if s.Worker < 0 || s.Worker >= workers {
+			t.Fatalf("span on worker %d, want [0,%d)", s.Worker, workers)
+		}
+		if s.Iter < 0 || s.Iter >= stages {
+			t.Fatalf("span stage %d, want [0,%d)", s.Iter, stages)
+		}
+		if s.End < s.Start {
+			t.Fatalf("backwards span %+v", s)
+		}
+	}
+	if !sawPanel || !sawUpdate {
+		t.Errorf("span kinds incomplete: panel=%v update=%v", sawPanel, sawUpdate)
+	}
+	if got := len(spans); got != stages+stages*(stages-1)/2 {
+		// One PanelFact per stage plus one Update per (stage, later panel).
+		t.Errorf("spans = %d, want %d", got, stages+stages*(stages-1)/2)
+	}
+}
+
+// A nil recorder must leave the scheduler untouched (and not panic).
+func TestDynamicNilTrace(t *testing.T) {
+	a := matrix.RandomGeneral(64, 64, 3)
+	piv := make([]int, 64)
+	if err := Dynamic(a, piv, Options{NB: 16, Workers: 2, Trace: nil}); err != nil {
+		t.Fatal(err)
+	}
+}

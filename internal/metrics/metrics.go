@@ -1,0 +1,292 @@
+// Package metrics is a small runtime-metrics registry for the real
+// execution layers: counters (bytes packed, pool queue-full drops,
+// transport resends, FT rollbacks), gauges (GFLOPS of the last run) and
+// power-of-two histograms (span latencies).
+//
+// Hot-path friendliness is the whole design: every instrument is a single
+// atomic word (or a fixed array of them), every mutating method is safe
+// for concurrent use, and every method is a nil-receiver no-op — so
+// instrumented code holds possibly-nil instrument pointers, calls them
+// unconditionally, and the uninstrumented path costs one predictable nil
+// check with zero allocations. The registry itself is only touched at
+// setup (get-or-create) and snapshot time.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64. The zero value is ready;
+// nil receivers no-op.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n may be negative for corrections, but counters are meant
+// to grow).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that holds the latest Set value. The zero value is
+// ready; nil receivers no-op.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores x.
+func (g *Gauge) Set(x float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(x))
+}
+
+// Value returns the latest Set value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the bucket count of Histogram: bucket 0 holds values
+// <= 0, bucket i (i >= 1) holds values in [2^(i-1), 2^i).
+const histBuckets = 65
+
+// Histogram accumulates non-negative int64 observations (typically
+// nanoseconds or bytes) into power-of-two buckets. The zero value is
+// ready; nil receivers no-op.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.buckets[i].Add(1)
+}
+
+// HistogramSnapshot is a consistent-enough point-in-time view: count, sum
+// and approximate quantiles (each quantile reports the upper bound of the
+// power-of-two bucket it lands in).
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s.P50 = quantile(counts[:], total, 0.50)
+	s.P90 = quantile(counts[:], total, 0.90)
+	s.P99 = quantile(counts[:], total, 0.99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// observation (0 when empty).
+func quantile(counts []int64, total int64, q float64) int64 {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := int64(0)
+	for i, c := range counts {
+		seen += c
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			if i >= 64 {
+				return math.MaxInt64
+			}
+			return 1 << uint(i)
+		}
+	}
+	return math.MaxInt64
+}
+
+// Registry is a named collection of instruments. Get-or-create methods
+// are safe for concurrent use; a nil *Registry hands out nil instruments,
+// which no-op — the one nil check at wiring time disables a whole
+// package's instrumentation.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use (nil on a
+// nil registry).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a nil
+// registry).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use (nil on
+// a nil registry).
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = new(Histogram)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument's value.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures all instruments (empty maps on a nil registry).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.histograms {
+		s.Histograms[n] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (map keys sort, so the
+// output is deterministic for goldens).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteText writes an aligned, name-sorted human dump — the -metrics
+// output of the CLIs.
+func (r *Registry) WriteText(w io.Writer) {
+	s := r.Snapshot()
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	lines := map[string]string{}
+	for n, v := range s.Counters {
+		names = append(names, n)
+		lines[n] = fmt.Sprintf("%-32s %d", n, v)
+	}
+	for n, v := range s.Gauges {
+		names = append(names, n)
+		lines[n] = fmt.Sprintf("%-32s %g", n, v)
+	}
+	for n, h := range s.Histograms {
+		names = append(names, n)
+		lines[n] = fmt.Sprintf("%-32s count=%d sum=%d mean=%.1f p50<=%d p90<=%d p99<=%d",
+			n, h.Count, h.Sum, h.Mean, h.P50, h.P90, h.P99)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintln(w, lines[n])
+	}
+}

@@ -1,0 +1,188 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	var g Gauge
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Errorf("gauge = %v", g.Value())
+	}
+	g.Set(math.Inf(1))
+	if !math.IsInf(g.Value(), 1) {
+		t.Errorf("gauge = %v", g.Value())
+	}
+}
+
+// Instruments must be safe under concurrent mutation (run with -race) and
+// lose no updates.
+func TestConcurrentInstruments(t *testing.T) {
+	reg := NewRegistry()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Get-or-create races with other workers on purpose.
+			c := reg.Counter("hits")
+			g := reg.Gauge("last")
+			h := reg.Histogram("lat")
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Set(float64(w))
+				h.Observe(int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := reg.Snapshot()
+	if s.Counters["hits"] != workers*each {
+		t.Errorf("hits = %d, want %d", s.Counters["hits"], workers*each)
+	}
+	if h := s.Histograms["lat"]; h.Count != workers*each || h.Sum != workers*each*(each-1)/2 {
+		t.Errorf("histogram = %+v", h)
+	}
+	if v := s.Gauges["last"]; v < 0 || v >= workers {
+		t.Errorf("gauge = %v", v)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	h.Observe(1024) // lands in [1024,2048): quantiles report the upper bound
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 1024 || s.Mean != 1024 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	if s.P50 != 2048 || s.P99 != 2048 {
+		t.Errorf("quantiles = %+v", s)
+	}
+	h.Observe(0)
+	h.Observe(-7) // non-positive values share bucket 0
+	if s := h.Snapshot(); s.P50 != 0 {
+		t.Errorf("p50 with majority zeros = %+v", s)
+	}
+}
+
+// A nil registry hands out nil instruments and every instrument method
+// no-ops on nil — the uninstrumented path must also allocate nothing.
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c, g, h := reg.Counter("x"), reg.Gauge("y"), reg.Histogram("z")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		_ = c.Value()
+		g.Set(1)
+		_ = g.Value()
+		h.Observe(5)
+	}); n != 0 {
+		t.Errorf("nil instruments allocated %.1f per op", n)
+	}
+	s := reg.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot = %+v", s)
+	}
+}
+
+// Live-instrument hot paths must not allocate either: counters, gauges and
+// histograms are plain atomics.
+func TestLiveInstrumentsAllocateNothing(t *testing.T) {
+	reg := NewRegistry()
+	c, g, h := reg.Counter("c"), reg.Gauge("g"), reg.Histogram("h")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(2)
+		h.Observe(9)
+	}); n != 0 {
+		t.Errorf("live instruments allocated %.1f per op", n)
+	}
+}
+
+// Snapshot JSON golden: the -metrics dump format external tooling parses.
+func TestWriteJSONGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("pool.regions").Add(5)
+	reg.Gauge("hpl.gflops").Set(2.5)
+	reg.Histogram("span.ns").Observe(3)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "counters": {
+    "pool.regions": 5
+  },
+  "gauges": {
+    "hpl.gflops": 2.5
+  },
+  "histograms": {
+    "span.ns": {
+      "count": 1,
+      "sum": 3,
+      "mean": 3,
+      "p50": 4,
+      "p90": 4,
+      "p99": 4
+    }
+  }
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("golden mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b.count").Add(2)
+	reg.Gauge("a.val").Set(1.5)
+	reg.Histogram("c.lat").Observe(7)
+	var buf bytes.Buffer
+	reg.WriteText(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %q", lines)
+	}
+	// Name-sorted regardless of instrument kind.
+	if !strings.HasPrefix(lines[0], "a.val") ||
+		!strings.HasPrefix(lines[1], "b.count") ||
+		!strings.HasPrefix(lines[2], "c.lat") {
+		t.Errorf("order:\n%s", buf.String())
+	}
+	if !strings.Contains(lines[2], "count=1") || !strings.Contains(lines[2], "sum=7") {
+		t.Errorf("histogram line: %s", lines[2])
+	}
+}
+
+func TestRegistryReusesInstruments(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("x") != reg.Counter("x") {
+		t.Error("counter not reused")
+	}
+	if reg.Gauge("x") != reg.Gauge("x") {
+		t.Error("gauge not reused")
+	}
+	if reg.Histogram("x") != reg.Histogram("x") {
+		t.Error("histogram not reused")
+	}
+}

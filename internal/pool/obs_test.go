@@ -1,0 +1,69 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"phihpl/internal/metrics"
+	"phihpl/internal/trace"
+)
+
+func TestObservabilityWiring(t *testing.T) {
+	rec := new(trace.Recorder)
+	reg := metrics.NewRegistry()
+	SetObservability(rec, reg)
+	defer SetObservability(nil, nil)
+
+	var sum atomic.Int64
+	Do(100, 4, func(i int) { sum.Add(int64(i)) })
+	if got := sum.Load(); got != 99*100/2 {
+		t.Fatalf("sum = %d", got)
+	}
+	Do(5, 1, func(int) {}) // serial path
+
+	spans := rec.Spans()
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded for an instrumented region")
+	}
+	for _, s := range spans {
+		if s.Name != "pool.Do" {
+			t.Errorf("unexpected span name %q", s.Name)
+		}
+		if s.Worker < 0 || s.Worker > nproc {
+			t.Errorf("span worker %d out of [0,%d]", s.Worker, nproc)
+		}
+		if s.End < s.Start {
+			t.Errorf("backwards span %+v", s)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["pool.regions"] != 1 {
+		t.Errorf("pool.regions = %d, want 1", snap.Counters["pool.regions"])
+	}
+	if snap.Counters["pool.serial_regions"] != 1 {
+		t.Errorf("pool.serial_regions = %d, want 1", snap.Counters["pool.serial_regions"])
+	}
+
+	// Detached: no further spans or counts.
+	SetObservability(nil, nil)
+	before := len(rec.Spans())
+	Do(100, 4, func(int) {})
+	if got := len(rec.Spans()); got != before {
+		t.Errorf("detached pool still recorded %d spans", got-before)
+	}
+	if snap := reg.Snapshot(); snap.Counters["pool.regions"] != 1 {
+		t.Errorf("detached pool still counted regions: %d", snap.Counters["pool.regions"])
+	}
+}
+
+// The uninstrumented region path must not allocate beyond the pool's own
+// fixed task closure (measured against the detached baseline).
+func TestDoUninstrumentedAllocations(t *testing.T) {
+	SetObservability(nil, nil)
+	// Serial path: truly zero allocations.
+	if n := testing.AllocsPerRun(100, func() {
+		Do(8, 1, func(int) {})
+	}); n != 0 {
+		t.Errorf("serial Do allocated %.1f per op", n)
+	}
+}

@@ -12,31 +12,60 @@
 // serial execution instead of deadlocking, and nested or concurrent
 // regions from independent callers interleave safely: pool workers never
 // block on the pool themselves.
+//
+// Observability: SetObservability attaches a span recorder (one span per
+// helper/caller participation in a region, on the helper's stable worker
+// id; callers share lane Size()) and a metrics registry (region count,
+// queue-full helper drops). Both default to off; the uninstrumented hot
+// path costs two atomic pointer loads and allocates nothing.
 package pool
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"phihpl/internal/metrics"
+	"phihpl/internal/trace"
 )
 
 var (
 	once   sync.Once
-	submit chan func()
+	submit chan func(worker int)
 	nproc  int
+
+	obsTrace   atomic.Pointer[trace.Recorder]
+	mRegions   atomic.Pointer[metrics.Counter]
+	mDrops     atomic.Pointer[metrics.Counter]
+	mSerialCnt atomic.Pointer[metrics.Counter]
 )
+
+// SetObservability attaches a span recorder and a metrics registry to the
+// pool. Either may be nil to disable that side; calling with (nil, nil)
+// detaches everything. Counters registered: pool.regions (parallel
+// regions entered), pool.serial_regions (regions degraded to the serial
+// caller-only path), pool.queue_full_drops (regions that dropped their
+// remaining helper slots because the submit queue was full). Safe to call
+// at any time; producers observe
+// the new sinks on their next region.
+func SetObservability(rec *trace.Recorder, reg *metrics.Registry) {
+	obsTrace.Store(rec)
+	mRegions.Store(reg.Counter("pool.regions"))
+	mSerialCnt.Store(reg.Counter("pool.serial_regions"))
+	mDrops.Store(reg.Counter("pool.queue_full_drops"))
+}
 
 // ensure starts the long-lived workers exactly once.
 func ensure() {
 	once.Do(func() {
 		nproc = runtime.GOMAXPROCS(0)
-		submit = make(chan func(), 4*nproc)
+		submit = make(chan func(worker int), 4*nproc)
 		for i := 0; i < nproc; i++ {
-			go func() {
+			go func(id int) {
 				for f := range submit {
-					f()
+					f(id)
 				}
-			}()
+			}(i)
 		}
 	})
 }
@@ -64,12 +93,15 @@ func Do(n, workers int, fn func(i int)) {
 		workers = n
 	}
 	if workers <= 1 || n == 1 {
+		mSerialCnt.Load().Inc()
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
 	ensure()
+	mRegions.Load().Inc()
+	rec := obsTrace.Load()
 	var next atomic.Int64
 	loop := func() {
 		for {
@@ -83,18 +115,32 @@ func Do(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	for h := 0; h < workers-1; h++ {
 		wg.Add(1)
-		task := func() {
+		task := func(worker int) {
 			defer wg.Done()
+			if rec != nil {
+				t0 := rec.Start()
+				loop()
+				rec.Since(worker, "pool.Do", -1, t0)
+				return
+			}
 			loop()
 		}
 		select {
 		case submit <- task:
 		default:
 			// Queue full: run with fewer helpers instead of blocking.
+			mDrops.Load().Inc()
 			wg.Done()
 			h = workers // stop submitting
 		}
 	}
-	loop()
+	if rec != nil {
+		// The caller's own participation, on the shared caller lane.
+		t0 := rec.Start()
+		loop()
+		rec.Since(nproc, "pool.Do", -1, t0)
+	} else {
+		loop()
+	}
 	wg.Wait()
 }

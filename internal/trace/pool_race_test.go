@@ -1,0 +1,95 @@
+// The concurrency regression test for the recorder lives in an external
+// test package: pool imports trace for its own instrumentation, so a test
+// that drives trace.Recorder.Add from inside pool.Do regions — the exact
+// producer that used to race — cannot live in package trace itself.
+package trace_test
+
+import (
+	"sync"
+	"testing"
+
+	"phihpl/internal/metrics"
+	"phihpl/internal/pool"
+	"phihpl/internal/trace"
+)
+
+// Regression: Recorder.Add appended to a plain slice, so concurrent pool
+// workers corrupted it (lost spans, torn appends, -race reports). Hammer
+// Add/Since from many overlapping pool.Do regions — with the pool's own
+// instrumentation attached and feeding the same recorder — while a reader
+// renders, and verify no span is lost.
+func TestAddFromPoolDoIsRaceFree(t *testing.T) {
+	rec := new(trace.Recorder)
+	reg := metrics.NewRegistry()
+	pool.SetObservability(rec, reg)
+	defer pool.SetObservability(nil, nil)
+
+	const (
+		regions    = 32
+		perRegion  = 64
+		concurrent = 4
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < concurrent; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := 0; it < regions; it++ {
+				pool.Do(perRegion, 4, func(i int) {
+					t0 := rec.Start()
+					rec.Since(i%8, "job", it, t0)
+					rec.Add(i%8, "mark", it, 0, 1e-9)
+				})
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = rec.Gantt(60)
+			_ = rec.Spans()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	reader.Wait()
+
+	// Every fn invocation added exactly two spans; the pool's own
+	// instrumentation added more on top. None may be lost.
+	want := concurrent * regions * perRegion * 2
+	spans := rec.Spans()
+	if got := countNames(spans, "job") + countNames(spans, "mark"); got != want {
+		t.Fatalf("explicit spans = %d, want %d", got, want)
+	}
+	size := pool.Size()
+	for _, s := range spans {
+		if s.Name != "pool.Do" {
+			continue
+		}
+		if s.Worker < 0 || s.Worker > size {
+			t.Fatalf("pool span on worker %d, want [0,%d]", s.Worker, size)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["pool.regions"] == 0 {
+		t.Error("pool.regions counter never incremented")
+	}
+}
+
+func countNames(spans []trace.Span, name string) int {
+	n := 0
+	for _, s := range spans {
+		if s.Name == name {
+			n++
+		}
+	}
+	return n
+}

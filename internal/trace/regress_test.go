@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Regression: Gantt used to index rows[-1] for spans on negative workers
+// and compute negative column indexes for spans starting before t=0. Both
+// must render without panicking, with out-of-range columns clamped and
+// negative-worker spans skipped (including their legend entry).
+func TestGanttOutOfRangeSpans(t *testing.T) {
+	var r Recorder
+	r.Add(0, "ok", 0, 0, 1)
+	r.Add(0, "early", 0, -5, 0.5) // negative start -> clamp to column 0
+	r.Add(-1, "meta", 0, 0, 1)    // negative worker -> skipped entirely
+	r.Add(-3, "meta2", 0, 0.2, 0.8)
+	out := r.Gantt(10)
+	if !strings.Contains(out, "O=ok") || !strings.Contains(out, "E=early") {
+		t.Errorf("renderable spans missing from legend:\n%s", out)
+	}
+	if strings.Contains(out, "meta") {
+		t.Errorf("negative-worker span leaked into output:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[0], "  0 |") {
+		t.Errorf("first row should be worker 0:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "E") {
+		t.Errorf("clamped early span should still paint column 0:\n%s", out)
+	}
+}
+
+func TestGanttOnlyUnrenderableSpans(t *testing.T) {
+	var r Recorder
+	r.Add(-1, "meta", 0, 0, 1)
+	r.Add(0, "backwards", 0, 2, 1)
+	if got := r.Gantt(20); got != "(empty trace)\n" {
+		t.Errorf("got %q", got)
+	}
+}
+
+// Regression: glyphs used to hand '?' to every name once the fallback pool
+// ran out, so distinct regions became indistinguishable in the chart. Now
+// '?' is assigned at most once and every name past it gets a unique rune.
+func TestGlyphsNeverCollide(t *testing.T) {
+	// Letterless names exhaust the fallback pool (the letter pass finds
+	// nothing to claim), then '?', then the Unicode escalation.
+	n := 26 + len(glyphFallback) + 20
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("__%d__", i)
+	}
+	g := glyphs(names)
+	if len(g) != n {
+		t.Fatalf("assigned %d glyphs, want %d", len(g), n)
+	}
+	seen := make(map[rune]string)
+	questions := 0
+	for name, r := range g {
+		if prev, dup := seen[r]; dup {
+			t.Fatalf("glyph %q shared by %q and %q", r, prev, name)
+		}
+		seen[r] = name
+		if r == '?' {
+			questions++
+		}
+	}
+	if questions > 1 {
+		t.Fatalf("'?' assigned %d times", questions)
+	}
+}
+
+// The recorder must be safe under concurrent producers and concurrent
+// renderers (run with -race).
+func TestConcurrentAddAndRender(t *testing.T) {
+	var r Recorder
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				t0 := r.Start()
+				r.Since(w, "work", i%4, t0)
+				r.Add(w, "fixed", i%4, float64(i), float64(i+1))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.Gantt(40)
+			_ = r.Makespan()
+			_ = r.Totals()
+			_ = r.WriteChromeTrace(&bytes.Buffer{})
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := len(r.Spans()); got != 8*200*2 {
+		t.Fatalf("spans = %d, want %d", got, 8*200*2)
+	}
+}
+
+// The uninstrumented path — a nil recorder held by instrumented code —
+// must not allocate.
+func TestNilRecorderAllocatesNothing(t *testing.T) {
+	var r *Recorder
+	if n := testing.AllocsPerRun(100, func() {
+		t0 := r.Start()
+		r.Since(0, "x", 0, t0)
+		r.Add(0, "x", 0, 0, 1)
+		r.Reset()
+	}); n != 0 {
+		t.Errorf("nil recorder allocated %.1f per op", n)
+	}
+}
+
+// Chrome export golden: exact bytes, so the file format stays stable for
+// external viewers. Start/End values are binary-exact so ts/dur are too.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var r Recorder
+	r.Add(0, "PanelFact", 0, 0, 0.25)
+	r.Add(1, "Update", 3, 0.25, 0.5)
+	r.Add(2, "bogus", 1, 0.5, 0.25) // negative duration -> clamped to 0
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"phihpl"}},` +
+		`{"name":"PanelFact","ph":"X","ts":0,"dur":250000,"pid":0,"tid":0,"args":{"iter":0}},` +
+		`{"name":"Update","ph":"X","ts":250000,"dur":250000,"pid":0,"tid":1,"args":{"iter":3}},` +
+		`{"name":"bogus","ph":"X","ts":500000,"dur":0,"pid":0,"tid":2,"args":{"iter":1}}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if got := buf.String(); got != want {
+		t.Errorf("golden mismatch:\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// The export must be well-formed trace-event JSON even for nil/empty
+// recorders, and always parseable back.
+func TestWriteChromeTraceWellFormed(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rec  *Recorder
+	}{
+		{"nil", nil},
+		{"empty", new(Recorder)},
+	} {
+		var buf bytes.Buffer
+		if err := tc.rec.WriteChromeTrace(&buf); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var f struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+			Unit        string           `json:"displayTimeUnit"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+			t.Fatalf("%s: invalid JSON: %v\n%s", tc.name, err, buf.String())
+		}
+		if f.Unit != "ms" || len(f.TraceEvents) != 1 {
+			t.Errorf("%s: unexpected file: %+v", tc.name, f)
+		}
+	}
+}
+
+// Start/Since produce spans on a single monotonically advancing timeline.
+func TestClockHelpers(t *testing.T) {
+	var r Recorder
+	t0 := r.Start()
+	if t0 < 0 {
+		t.Fatalf("t0 = %v", t0)
+	}
+	r.Since(2, "tick", 7, t0)
+	spans := r.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	s := spans[0]
+	if s.Worker != 2 || s.Name != "tick" || s.Iter != 7 {
+		t.Errorf("span = %+v", s)
+	}
+	if s.End < s.Start {
+		t.Errorf("clock ran backwards: %+v", s)
+	}
+	if t1 := r.Start(); t1 < s.End {
+		t.Errorf("Start not monotone: %v < %v", t1, s.End)
+	}
+}

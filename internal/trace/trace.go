@@ -1,16 +1,25 @@
 // Package trace records execution spans from real or simulated runs and
-// renders them as ASCII Gantt charts and region profiles.
+// renders them as ASCII Gantt charts, region profiles, and Chrome
+// trace-event JSON (see chrome.go).
 //
 // It backs two artefacts of the paper: Figure 7 (Gantt chart of the native
 // LU execution profile, where the colours DLASWP/DTRSM/DGETRF/DGEMM/barrier
 // become letters), and Figure 9 (per-iteration breakdown of hybrid HPL time
 // into DGEMM vs. exposed U-broadcast / swap / DTRSM / panel regions).
+//
+// The recorder is safe for concurrent producers: the real DAG scheduler,
+// the worker pool and the packed DGEMM all Add spans from many goroutines
+// at once. All methods are nil-receiver safe no-ops, so instrumented code
+// can hold a possibly-nil *Recorder and call it unconditionally — the
+// uninstrumented path costs one nil check and allocates nothing.
 package trace
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Span is one interval of named work on one worker (thread group, core,
@@ -26,27 +35,97 @@ type Span struct {
 // Duration returns End-Start.
 func (s Span) Duration() float64 { return s.End - s.Start }
 
-// Recorder accumulates spans. The zero value is ready to use.
+// Recorder accumulates spans. The zero value is ready to use; a nil
+// *Recorder is a valid no-op sink.
 type Recorder struct {
+	mu    sync.Mutex
+	epoch time.Time // set on the first clock use
 	spans []Span
 }
 
 // Add records a span. Zero- or negative-length spans are kept (they can
-// carry ordering information) but render as nothing.
+// carry ordering information) but render as nothing. Safe for concurrent
+// use; a no-op on a nil receiver.
 func (r *Recorder) Add(worker int, name string, iter int, start, end float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
 	r.spans = append(r.spans, Span{Worker: worker, Name: name, Iter: iter, Start: start, End: end})
+	r.mu.Unlock()
 }
 
-// Spans returns the recorded spans in insertion order.
-func (r *Recorder) Spans() []Span { return r.spans }
+// Start returns the current recorder-relative timestamp in seconds (the
+// epoch is pinned at the recorder's first clock use). Pair it with Since
+// to produce wall-clock spans from real runs:
+//
+//	t0 := rec.Start()
+//	work()
+//	rec.Since(worker, "work", iter, t0)
+//
+// On a nil receiver it returns 0 without reading the clock.
+func (r *Recorder) Start() float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	now := r.nowLocked()
+	r.mu.Unlock()
+	return now
+}
 
-// Reset discards all spans.
-func (r *Recorder) Reset() { r.spans = r.spans[:0] }
+// Since records a span that began at start (a Start timestamp) and ends
+// now. A no-op on a nil receiver.
+func (r *Recorder) Since(worker int, name string, iter int, start float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	end := r.nowLocked()
+	r.spans = append(r.spans, Span{Worker: worker, Name: name, Iter: iter, Start: start, End: end})
+	r.mu.Unlock()
+}
+
+// nowLocked returns seconds since the epoch, pinning the epoch on first use.
+func (r *Recorder) nowLocked() float64 {
+	if r.epoch.IsZero() {
+		r.epoch = time.Now()
+	}
+	return time.Since(r.epoch).Seconds()
+}
+
+// Spans returns a copy of the recorded spans in insertion order.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// snapshot is the internal, copy-making read used by every renderer, so
+// rendering never races with concurrent producers.
+func (r *Recorder) snapshot() []Span { return r.Spans() }
+
+// Reset discards all spans (the epoch is kept).
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = r.spans[:0]
+	r.mu.Unlock()
+}
 
 // Makespan returns the latest End over all spans (0 when empty).
 func (r *Recorder) Makespan() float64 {
+	return makespanOf(r.snapshot())
+}
+
+func makespanOf(spans []Span) float64 {
 	m := 0.0
-	for _, s := range r.spans {
+	for _, s := range spans {
 		if s.End > m {
 			m = s.End
 		}
@@ -57,7 +136,7 @@ func (r *Recorder) Makespan() float64 {
 // Totals sums span durations by name.
 func (r *Recorder) Totals() map[string]float64 {
 	t := make(map[string]float64)
-	for _, s := range r.spans {
+	for _, s := range r.snapshot() {
 		if d := s.Duration(); d > 0 {
 			t[s.Name] += d
 		}
@@ -68,8 +147,9 @@ func (r *Recorder) Totals() map[string]float64 {
 // IterTotals sums span durations by (iteration, name). The returned slice is
 // indexed by iteration; iterations never seen produce empty maps.
 func (r *Recorder) IterTotals() []map[string]float64 {
+	spans := r.snapshot()
 	maxIter := -1
-	for _, s := range r.spans {
+	for _, s := range spans {
 		if s.Iter > maxIter {
 			maxIter = s.Iter
 		}
@@ -78,7 +158,7 @@ func (r *Recorder) IterTotals() []map[string]float64 {
 	for i := range out {
 		out[i] = make(map[string]float64)
 	}
-	for _, s := range r.spans {
+	for _, s := range spans {
 		if s.Iter >= 0 {
 			if d := s.Duration(); d > 0 {
 				out[s.Iter][s.Name] += d
@@ -88,11 +168,11 @@ func (r *Recorder) IterTotals() []map[string]float64 {
 	return out
 }
 
-// names returns the distinct span names in first-appearance order.
-func (r *Recorder) names() []string {
+// namesOf returns the distinct span names in first-appearance order.
+func namesOf(spans []Span) []string {
 	seen := make(map[string]bool)
 	var out []string
-	for _, s := range r.spans {
+	for _, s := range spans {
 		if !seen[s.Name] {
 			seen[s.Name] = true
 			out = append(out, s.Name)
@@ -101,22 +181,42 @@ func (r *Recorder) names() []string {
 	return out
 }
 
-// glyphFor assigns a stable one-rune code to each span name: the first
-// letter of the name, upper-cased, disambiguated by subsequent letters or
-// digits when names collide.
+// glyphFallback is the symbol pool used once a name's own letters are
+// taken: digits first, then a wide set of printable ASCII marks. Only
+// after the whole pool is exhausted does a name get '?', and '?' is
+// handed out at most once — beyond that, glyphs escalate into successive
+// non-ASCII runes so every name stays uniquely identifiable in the legend.
+const glyphFallback = "0123456789*#@+=%&$!^~<>/\\{}[]()"
+
+// glyphs assigns a stable one-rune code to each span name: the first
+// unused letter of the name, upper-cased, then the fallback pool, then a
+// guaranteed-unique escalation. No two names ever share a glyph.
 func glyphs(names []string) map[string]rune {
 	g := make(map[string]rune, len(names))
 	used := make(map[rune]bool)
 	for _, n := range names {
-		var r rune = '?'
+		var r rune
 		for _, c := range strings.ToUpper(n) {
 			if c >= 'A' && c <= 'Z' && !used[c] {
 				r = c
 				break
 			}
 		}
-		if r == '?' {
-			for c := '0'; c <= '9'; c++ {
+		if r == 0 {
+			for _, c := range glyphFallback {
+				if !used[c] {
+					r = c
+					break
+				}
+			}
+		}
+		if r == 0 && !used['?'] {
+			r = '?'
+		}
+		if r == 0 {
+			// Pool exhausted: walk the Latin-1 supplement and beyond for
+			// the first unused rune. Unbounded, so uniqueness is total.
+			for c := rune(0xC0); ; c++ {
 				if !used[c] {
 					r = c
 					break
@@ -133,38 +233,57 @@ func glyphs(names []string) map[string]rune {
 // columns across [0, Makespan]. Each cell shows the glyph of the span
 // covering the cell's midpoint (later spans win ties); '.' is idle.
 // A legend follows the chart.
+//
+// Malformed spans cannot panic the renderer: column indexes are clamped
+// to [0, width) and spans on negative workers (used by producers for
+// "off-timeline" bookkeeping regions) are skipped entirely.
 func (r *Recorder) Gantt(width int) string {
 	if width < 1 {
 		width = 80
 	}
-	makespan := r.Makespan()
-	if makespan <= 0 || len(r.spans) == 0 {
+	spans := r.snapshot()
+	makespan := makespanOf(spans)
+	if makespan <= 0 || len(spans) == 0 {
 		return "(empty trace)\n"
 	}
+	// Renderable spans only: positive duration, on a non-negative worker,
+	// ending after t=0. The legend is built from the same set, so it never
+	// lists glyphs that cannot appear in the chart.
+	vis := spans[:0:0]
 	maxWorker := 0
-	for _, s := range r.spans {
+	for _, s := range spans {
+		if s.Duration() <= 0 || s.Worker < 0 || s.End <= 0 {
+			continue
+		}
+		vis = append(vis, s)
 		if s.Worker > maxWorker {
 			maxWorker = s.Worker
 		}
 	}
-	names := r.names()
+	if len(vis) == 0 {
+		return "(empty trace)\n"
+	}
+	names := namesOf(vis)
 	g := glyphs(names)
 
 	rows := make([][]rune, maxWorker+1)
 	for i := range rows {
 		rows[i] = []rune(strings.Repeat(".", width))
 	}
-	for _, s := range r.spans {
-		if s.Duration() <= 0 {
-			continue
-		}
+	for _, s := range vis {
 		lo := int(s.Start / makespan * float64(width))
 		hi := int(s.End / makespan * float64(width))
-		if hi == lo {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi <= lo {
 			hi = lo + 1
 		}
 		if hi > width {
 			hi = width
+		}
+		if lo >= width {
+			lo = width - 1
 		}
 		for c := lo; c < hi; c++ {
 			rows[s.Worker][c] = g[s.Name]
@@ -186,20 +305,28 @@ func (r *Recorder) Gantt(width int) string {
 
 // WorkerUtilization returns, per worker index, the fraction of the
 // makespan the worker spent inside spans — the per-lane utilization the
-// hybrid timelines report (card busy vs. idle).
+// hybrid timelines report (card busy vs. idle). Spans on negative workers
+// are ignored.
 func (r *Recorder) WorkerUtilization() []float64 {
-	makespan := r.Makespan()
+	spans := r.snapshot()
+	makespan := makespanOf(spans)
 	if makespan <= 0 {
 		return nil
 	}
-	maxWorker := 0
-	for _, s := range r.spans {
+	maxWorker := -1
+	for _, s := range spans {
 		if s.Worker > maxWorker {
 			maxWorker = s.Worker
 		}
 	}
+	if maxWorker < 0 {
+		return nil
+	}
 	busy := make([]float64, maxWorker+1)
-	for _, s := range r.spans {
+	for _, s := range spans {
+		if s.Worker < 0 {
+			continue
+		}
 		if d := s.Duration(); d > 0 {
 			busy[s.Worker] += d
 		}

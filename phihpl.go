@@ -29,6 +29,7 @@ import (
 	"phihpl/internal/matrix"
 	"phihpl/internal/offload"
 	"phihpl/internal/simlu"
+	"phihpl/internal/trace"
 )
 
 // ResidualThreshold is the HPL pass/fail bound on the scaled residual.
@@ -98,6 +99,16 @@ const (
 // with the selected scheduler (NB block size, `workers` goroutine thread
 // groups) and returns the solution with its HPL residual.
 func Solve(n int, sched Scheduler, nb, workers int, seed uint64) (SolveResult, error) {
+	return SolveTraced(n, sched, nb, workers, seed, nil)
+}
+
+// SolveTraced is Solve with a span recorder attached to the native LU
+// driver: the dynamic DAG scheduler emits one wall-clock span per
+// executed task (worker = thread group, name = PanelFact/Update), the
+// real-execution counterpart of the paper's Figure 7 Gantt chart. Export
+// the recorder with trace.Recorder.Gantt or WriteChromeTrace. A nil
+// recorder makes this identical to Solve.
+func SolveTraced(n int, sched Scheduler, nb, workers int, seed uint64, rec *trace.Recorder) (SolveResult, error) {
 	a, b := matrix.RandomSystem(n, seed)
 	driver := lu.Sequential
 	switch sched {
@@ -106,7 +117,7 @@ func Solve(n int, sched Scheduler, nb, workers int, seed uint64) (SolveResult, e
 	case DynamicDAG:
 		driver = lu.Dynamic
 	}
-	x, res, err := lu.Solve(a, b, lu.Options{NB: nb, Workers: workers}, driver)
+	x, res, err := lu.Solve(a, b, lu.Options{NB: nb, Workers: workers, Trace: rec}, driver)
 	if err != nil {
 		return SolveResult{}, err
 	}
