@@ -14,8 +14,10 @@ check: build vet test race
 build:
 	$(GO) build ./...
 
+# -timeout 10m: a hung cancellation path (leaked worker, wedged rank)
+# fails the suite with a goroutine dump instead of stalling CI forever.
 test: build
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 vet:
 	$(GO) vet ./...
@@ -23,12 +25,14 @@ vet:
 # race: the numerics gate for the concurrent hot path. Runs vet plus the
 # race detector over the packages that share mutable state across
 # goroutines: the packed DGEMM fast path, the persistent worker pool, the
-# tile packers, the LU drivers built on top of them, the fault-path
-# packages (message fabric + fault-tolerant distributed solver), and the
-# observability layer they all feed (span recorder + metrics registry).
+# tile packers, the LU drivers built on top of them, the offload
+# work-stealing engine (heartbeats, straggler reclaim, cancellation), the
+# fault-path packages (message fabric + fault-tolerant distributed
+# solver), and the observability layer they all feed (span recorder +
+# metrics registry).
 race:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/blas/... ./internal/pool/... ./internal/pack/... ./internal/lu/... ./internal/cluster/... ./internal/hpl/... ./internal/fault/... ./internal/trace/... ./internal/metrics/...
+	$(GO) test -race -timeout 10m ./internal/blas/... ./internal/pool/... ./internal/pack/... ./internal/lu/... ./internal/offload/... ./internal/cluster/... ./internal/hpl/... ./internal/fault/... ./internal/trace/... ./internal/metrics/...
 
 # bench: the packed-path vs reference comparison (GFLOPS + steady-state
 # allocation counts).

@@ -23,12 +23,15 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"phihpl"
@@ -40,6 +43,44 @@ import (
 	"phihpl/internal/pool"
 	"phihpl/internal/trace"
 )
+
+// Exit codes, documented in README.md: the process outcome is machine
+// readable even when the report is partial.
+const (
+	exitPass     = 0 // solve completed and passed the residual check
+	exitFailed   = 1 // solve completed but failed the residual check (or other error)
+	exitAborted  = 2 // cancelled by -timeout, SIGINT or SIGTERM
+	exitRankFail = 3 // rank crash, contained worker panic, or unrecoverable fault
+)
+
+// exitCode classifies a solve error into the documented exit codes.
+func exitCode(err error) int {
+	var pe *phihpl.PanicError
+	var rpe *cluster.RankPanicError
+	var fe *phihpl.FaultError
+	switch {
+	case err == nil:
+		return exitPass
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return exitAborted
+	case errors.As(err, &pe), errors.As(err, &rpe), errors.As(err, &fe),
+		errors.Is(err, cluster.ErrRankFailed):
+		return exitRankFail
+	default:
+		return exitFailed
+	}
+}
+
+// writeAbortedReport emits the partial HPL.out-style record of a cancelled
+// run: the combination that was in flight, marked ABORTED.
+func writeAbortedReport(n, nb, p, q int, elapsed float64) {
+	hplio.WriteReport(os.Stdout, []hplio.Result{{
+		Combination: hplio.Combination{N: n, NB: nb, P: p, Q: q, Depth: 1},
+		Seconds:     elapsed,
+		Residual:    -1,
+		Aborted:     true,
+	}})
+}
 
 func main() {
 	var (
@@ -66,8 +107,23 @@ func main() {
 		ftTime   = flag.Duration("ft-timeout", 0, "per-operation timeout before a rank is declared failed (0 = default)")
 		ckEvery  = flag.Int("ckpt-every", 0, "checkpoint + ABFT verification period in panel stages (0 = default)")
 		restarts = flag.Int("max-restarts", 0, "rollback attempts before giving up (0 = default)")
+
+		timeout = flag.Duration("timeout", 0, "wall-clock budget for the whole run; on expiry (or SIGINT/SIGTERM) the solve is cancelled, a partial report marked ABORTED is written, and the exit code is 2 (0 = no limit)")
 	)
 	flag.Parse()
+
+	// One context governs the run: -timeout arms a deadline, SIGINT/SIGTERM
+	// cancel it, and every real solver observes it at its scheduling
+	// boundaries — cancellation unwinds workers and ranks cleanly instead
+	// of killing the process mid-write.
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+	}
+	defer cancel()
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var rec *trace.Recorder
 	if *traceOut != "" {
@@ -92,11 +148,17 @@ func main() {
 			bs = 64
 		}
 		start := time.Now()
-		res, err := phihpl.SolveTraced(*n, phihpl.DynamicDAG, bs, *workers, *seed, rec)
+		res, err := phihpl.SolveTracedContext(ctx, *n, phihpl.DynamicDAG, bs, *workers, *seed, rec)
 		elapsed := time.Since(start).Seconds()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			if code := exitCode(err); code == exitAborted {
+				writeAbortedReport(*n, bs, 1, 1, elapsed)
+				finishObservability(rec, *traceOut, *gantt, reg)
+				os.Exit(code)
+			} else {
+				os.Exit(code)
+			}
 		}
 		if reg != nil {
 			reg.Gauge("hpl.gflops").Set(phihpl.LUFlops(*n) / elapsed / 1e9)
@@ -112,13 +174,13 @@ func main() {
 			res.Residual, status)
 		finishObservability(rec, *traceOut, *gantt, reg)
 		if !res.Passed {
-			os.Exit(1)
+			os.Exit(exitFailed)
 		}
 		return
 	}
 
 	if *faults != "" || *ft {
-		runFaultTolerant(*n, *nb, *p, *q, *seed, *faults, *ftTime, *ckEvery, *restarts, rec)
+		runFaultTolerant(ctx, *n, *nb, *p, *q, *seed, *faults, *ftTime, *ckEvery, *restarts, rec)
 		finishObservability(rec, *traceOut, *gantt, reg)
 		return
 	}
@@ -136,20 +198,30 @@ func main() {
 			defer f.Close()
 			r = f
 		}
-		// Combinations up to N=2000 run the real distributed solver.
-		if err := phihpl.RunDat(r, os.Stdout, 2000); err != nil {
+		// Combinations up to N=2000 run the real distributed solver. On
+		// cancellation RunDatCtx has already written the partial report
+		// with the unfinished combinations marked ABORTED.
+		if err := phihpl.RunDatCtx(ctx, r, os.Stdout, 2000); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			finishObservability(rec, *traceOut, *gantt, reg)
+			os.Exit(exitCode(err))
 		}
 		finishObservability(rec, *traceOut, *gantt, reg)
 		return
 	}
 
 	if *real {
-		res, err := phihpl.SolveDistributed(*n, *nb, *ranks, *seed)
+		start := time.Now()
+		res, err := phihpl.SolveDistributedCtx(ctx, *n, *nb, *ranks, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			if code := exitCode(err); code == exitAborted {
+				writeAbortedReport(*n, *nb, 1, *ranks, time.Since(start).Seconds())
+				finishObservability(rec, *traceOut, *gantt, reg)
+				os.Exit(code)
+			} else {
+				os.Exit(code)
+			}
 		}
 		status := "PASSED"
 		if !res.Passed {
@@ -160,7 +232,7 @@ func main() {
 			res.Residual, status)
 		finishObservability(rec, *traceOut, *gantt, reg)
 		if !res.Passed {
-			os.Exit(1)
+			os.Exit(exitFailed)
 		}
 		return
 	}
@@ -178,7 +250,7 @@ func main() {
 		la.Lookahead = phihpl.PipelinedLookahead
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-		os.Exit(2)
+		os.Exit(exitFailed) // 2 is reserved for aborted runs
 	}
 	r := phihpl.HybridHPLSim(la)
 	fmt.Printf("T/V                N    NB     P     Q               Time                 Gflops\n")
@@ -223,8 +295,9 @@ func finishObservability(rec *trace.Recorder, tracePath string, gantt bool, reg 
 // runFaultTolerant drives the checksum-protected distributed solver under
 // an optional injected fault plan and reports the recovery activity. An
 // unrecoverable run exits non-zero with the structured fault report
-// instead of hanging or printing a bogus residual.
-func runFaultTolerant(n, nb, p, q int, seed uint64, spec string, timeout time.Duration, ckptEvery, maxRestarts int, rec *trace.Recorder) {
+// instead of hanging or printing a bogus residual; a cancelled run writes
+// the partial ABORTED report and exits with the aborted code.
+func runFaultTolerant(ctx context.Context, n, nb, p, q int, seed uint64, spec string, timeout time.Duration, ckptEvery, maxRestarts int, rec *trace.Recorder) {
 	if nb == 0 {
 		nb = 64
 	}
@@ -233,12 +306,14 @@ func runFaultTolerant(n, nb, p, q int, seed uint64, spec string, timeout time.Du
 		plan, err := phihpl.ParseFaultPlan(spec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(2)
+			os.Exit(exitFailed)
 		}
 		cfg.Plan = plan
 	}
-	res, err := phihpl.SolveFaultTolerant2D(n, nb, p, q, seed, cfg)
+	start := time.Now()
+	res, err := phihpl.SolveFaultTolerant2DCtx(ctx, n, nb, p, q, seed, cfg)
 	if err != nil {
+		code := exitCode(err)
 		var fe *phihpl.FaultError
 		if errors.As(err, &fe) {
 			fmt.Fprintf(os.Stderr, "UNRECOVERABLE after %d restart(s), reached stage %d: %v\n",
@@ -249,7 +324,10 @@ func runFaultTolerant(n, nb, p, q int, seed uint64, spec string, timeout time.Du
 		} else {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
-		os.Exit(1)
+		if code == exitAborted {
+			writeAbortedReport(n, nb, p, q, time.Since(start).Seconds())
+		}
+		os.Exit(code)
 	}
 	status := "PASSED"
 	if !res.Passed {
@@ -267,7 +345,7 @@ func runFaultTolerant(n, nb, p, q int, seed uint64, spec string, timeout time.Du
 			ftst.Faults.Crashes, ftst.Faults.Stalls, ftst.Faults.Scrubs)
 	}
 	if !res.Passed {
-		os.Exit(1)
+		os.Exit(exitFailed)
 	}
 }
 

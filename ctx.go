@@ -1,0 +1,93 @@
+package phihpl
+
+import (
+	"context"
+
+	"phihpl/internal/hpl"
+	"phihpl/internal/lu"
+	"phihpl/internal/matrix"
+	"phihpl/internal/pool"
+	"phihpl/internal/trace"
+)
+
+// PanicError is the typed containment of a panic that escaped a worker
+// goroutine anywhere in the concurrent layers (thread-group pools, the LU
+// schedulers, the offload engine): the worker lane that panicked (-1 for
+// the caller), the recovered value, and the stack at the panic site. It is
+// returned as an ordinary error — a panicking task never crashes the
+// process. errors.As against *PanicError recovers the details.
+type PanicError = pool.PanicError
+
+// SolveContext is Solve under a context: the factorization observes ctx at
+// every task-issue or stage boundary, so cancelling stops the solve
+// promptly (partial work is discarded) and ctx.Err() is returned. An
+// already-cancelled context returns immediately without touching the
+// system. All worker goroutines are always joined before return.
+func SolveContext(ctx context.Context, n int, sched Scheduler, nb, workers int, seed uint64) (SolveResult, error) {
+	return SolveTracedContext(ctx, n, sched, nb, workers, seed, nil)
+}
+
+// SolveTracedContext is SolveContext with a span recorder attached to the
+// native LU driver (see SolveTraced). A nil recorder makes this identical
+// to SolveContext.
+func SolveTracedContext(ctx context.Context, n int, sched Scheduler, nb, workers int, seed uint64, rec *trace.Recorder) (SolveResult, error) {
+	if err := ctx.Err(); err != nil {
+		return SolveResult{}, err
+	}
+	a, b := matrix.RandomSystem(n, seed)
+	driver := lu.SequentialCtx
+	switch sched {
+	case StaticLookahead:
+		driver = lu.StaticLookaheadCtx
+	case DynamicDAG:
+		driver = lu.DynamicCtx
+	}
+	x, res, err := lu.SolveCtx(ctx, a, b, lu.Options{NB: nb, Workers: workers, Trace: rec}, driver)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: x, Residual: res, Passed: passed(res), N: n}, nil
+}
+
+// SolveDistributedCtx is SolveDistributed under a context: every rank
+// observes cancellation at its stage boundary, the world unwinds cleanly,
+// and the plain ctx.Err() is returned once ctx is done.
+func SolveDistributedCtx(ctx context.Context, n, nb, ranks int, seed uint64) (SolveResult, error) {
+	r, err := hpl.SolveDistributedCtx(ctx, n, nb, ranks, seed)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n}, nil
+}
+
+// SolveDistributed2DCtx is SolveDistributed2D under a context (see
+// SolveDistributedCtx for the cancellation contract).
+func SolveDistributed2DCtx(ctx context.Context, n, nb, p, q int, seed uint64) (SolveResult, error) {
+	r, err := hpl.SolveDistributed2DCtx(ctx, n, nb, p, q, seed)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n}, nil
+}
+
+// SolveHybrid2DCtx is SolveHybrid2D under a context: cancellation reaches
+// both the rank stage boundaries and the offload engine's tile loop, so a
+// rank parked in a long trailing update also unwinds promptly.
+func SolveHybrid2DCtx(ctx context.Context, n, nb, p, q int, seed uint64) (SolveResult, error) {
+	r, err := hpl.SolveDistributed2DHybridCtx(ctx, n, nb, p, q, seed)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n}, nil
+}
+
+// SolveFaultTolerant2DCtx is SolveFaultTolerant2D under a context.
+// Cancellation is not a fault: it never consumes a restart, is never
+// wrapped in a *FaultError, and always surfaces as the plain ctx.Err().
+func SolveFaultTolerant2DCtx(ctx context.Context, n, nb, p, q int, seed uint64, cfg FTConfig) (SolveResult, error) {
+	r, err := hpl.SolveDistributed2DFTCtx(ctx, n, nb, p, q, seed, cfg)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n, FT: r.FT}, nil
+}

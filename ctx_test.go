@@ -1,0 +1,67 @@
+package phihpl
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"phihpl/internal/testutil"
+)
+
+// The facade's cancellation contract: an already-cancelled context returns
+// promptly with context.Canceled from every ctx entry point, leaking no
+// goroutines and doing no work.
+func TestFacadeCtxAlreadyCancelled(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range []struct {
+		name  string
+		solve func() (SolveResult, error)
+	}{
+		{"SolveContext", func() (SolveResult, error) {
+			return SolveContext(ctx, 96, DynamicDAG, 16, 2, 1)
+		}},
+		{"SolveDistributedCtx", func() (SolveResult, error) {
+			return SolveDistributedCtx(ctx, 64, 16, 2, 1)
+		}},
+		{"SolveDistributed2DCtx", func() (SolveResult, error) {
+			return SolveDistributed2DCtx(ctx, 64, 16, 2, 2, 1)
+		}},
+		{"SolveHybrid2DCtx", func() (SolveResult, error) {
+			return SolveHybrid2DCtx(ctx, 64, 16, 2, 2, 1)
+		}},
+		{"SolveFaultTolerant2DCtx", func() (SolveResult, error) {
+			return SolveFaultTolerant2DCtx(ctx, 64, 16, 2, 2, 1, FTConfig{})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.solve(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// A completed SolveContext run matches Solve bitwise for every scheduler.
+func TestSolveContextMatchesSolve(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	for _, s := range []Scheduler{Sequential, StaticLookahead, DynamicDAG} {
+		want, err := Solve(96, s, 16, 3, 7)
+		if err != nil {
+			t.Fatalf("scheduler %v: %v", s, err)
+		}
+		got, err := SolveContext(context.Background(), 96, s, 16, 3, 7)
+		if err != nil {
+			t.Fatalf("scheduler %v: %v", s, err)
+		}
+		if !got.Passed {
+			t.Errorf("scheduler %v: residual %g", s, got.Residual)
+		}
+		for i := range want.X {
+			if got.X[i] != want.X[i] {
+				t.Fatalf("scheduler %v: solution differs at %d", s, i)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package phihpl
 
 import (
+	"context"
 	"io"
 
 	"phihpl/internal/hpl"
@@ -17,6 +18,14 @@ import (
 // cluster (1 card per node), for which no residual line is printed — the
 // same split a user of this repository would want.
 func RunDat(r io.Reader, w io.Writer, realBelow int) error {
+	return RunDatCtx(context.Background(), r, w, realBelow)
+}
+
+// RunDatCtx is RunDat under a context. On cancellation the sweep stops,
+// the in-flight and remaining combinations are reported as ABORTED, the
+// partial report is still written to w, and ctx.Err() is returned — so a
+// timed-out benchmark run always leaves a truthful record of how far it got.
+func RunDatCtx(ctx context.Context, r io.Reader, w io.Writer, realBelow int) error {
 	params, err := hplio.Parse(r)
 	if err != nil {
 		return err
@@ -31,9 +40,19 @@ func RunDat(r io.Reader, w io.Writer, realBelow int) error {
 			results = append(results, res)
 			continue
 		}
+		if ctx.Err() != nil {
+			res.Aborted = true
+			results = append(results, res)
+			continue
+		}
 		if c.N <= realBelow {
-			dr, err := hpl.SolveDistributed2D(c.N, c.NB, c.P, c.Q, 0x5eed)
+			dr, err := hpl.SolveDistributed2DCtx(ctx, c.N, c.NB, c.P, c.Q, 0x5eed)
 			if err != nil {
+				if ctx.Err() != nil {
+					res.Aborted = true
+					results = append(results, res)
+					continue
+				}
 				return err
 			}
 			// Virtual-time estimate is meaningless for the host run; use
@@ -52,7 +71,7 @@ func RunDat(r io.Reader, w io.Writer, realBelow int) error {
 	}
 	hplio.SortResults(results)
 	hplio.WriteReport(w, results)
-	return nil
+	return ctx.Err()
 }
 
 // simNB keeps the virtual-time model in its calibrated blocking regime:

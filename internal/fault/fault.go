@@ -154,6 +154,11 @@ func Parse(spec string) (*Plan, error) {
 				if durStr != "" {
 					p.DelayFor, err = time.ParseDuration(durStr)
 				}
+				if err == nil && p.Delay == 0 {
+					// A zero-probability delay never fires; drop its
+					// duration so String/Parse round-trip exactly.
+					p.DelayFor = 0
+				}
 			}
 		case "crash":
 			var ev RankEvent
@@ -182,7 +187,9 @@ func Parse(spec string) (*Plan, error) {
 			return nil, fmt.Errorf("fault: bad field %q: %v", field, err)
 		}
 	}
-	sort.Slice(p.Crashes, func(i, j int) bool { return p.Crashes[i].Iter < p.Crashes[j].Iter })
+	// Stable: same-iteration crashes keep their spec order, so
+	// Parse(String(p)) round-trips to an identical plan.
+	sort.SliceStable(p.Crashes, func(i, j int) bool { return p.Crashes[i].Iter < p.Crashes[j].Iter })
 	return p, nil
 }
 

@@ -1,0 +1,51 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseFaultPlan drives Parse with arbitrary specs: it must never
+// panic, and every spec it accepts must round-trip — Parse(String(p))
+// yields a plan identical to p, and String is a fixed point.
+func FuzzParseFaultPlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=7",
+		"seed=7;drop=0.02;dup=0.01;delay=0.05:2ms;corrupt=0.005;crash=3@2;stall=1@4:300ms;scrub=2@3",
+		"crash=1@2;crash=0@2;crash=2@0", // same-iteration crashes: stable order
+		"stall=0@0:400ms;stall=0@0:1ms",
+		"drop=0.999999",
+		"delay=0.5",
+		"seed=18446744073709551615",
+		"crash=1@2;;scrub=0@0",
+		"drop=1.0",     // rejected: probability outside [0,1)
+		"crash=1",      // rejected: missing @iteration
+		"stall=-1@0",   // rejected: negative rank
+		"bogus=1",      // rejected: unknown kind
+		"drop",         // rejected: no value
+		"=;=@:;@@@@@",  // garbage
+		"crash=1@2:3s", // trailing junk on a crash
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec) // must not panic on any input
+		if err != nil {
+			return // rejected specs only need to fail cleanly
+		}
+		s := p.String()
+		p2, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted but its String %q does not re-parse: %v", spec, s, err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip of %q changed the plan:\n first: %+v\nsecond: %+v", spec, p, p2)
+		}
+		if s2 := p2.String(); s2 != s {
+			t.Fatalf("String is not a fixed point for %q: %q != %q", spec, s2, s)
+		}
+		// A valid plan must always build a working injector.
+		_ = NewInjector(p)
+	})
+}

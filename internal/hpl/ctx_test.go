@@ -1,0 +1,149 @@
+package hpl
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"phihpl/internal/fault"
+	"phihpl/internal/matrix"
+	"phihpl/internal/testutil"
+)
+
+func mustParsePlan(t *testing.T, spec string) *fault.Plan {
+	t.Helper()
+	p, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatalf("fault.Parse(%q): %v", spec, err)
+	}
+	return p
+}
+
+// countCtx cancels itself deterministically after its Err method has been
+// consulted `after` times — scheduler-independent mid-run cancellation
+// (rank stage boundaries all consult Err).
+type countCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *countCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// Every distributed solver returns promptly with the plain context error
+// when handed an already-cancelled context — no world is spun up, no
+// goroutine leaks.
+func TestDistributedCtxAlreadyCancelled(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, tc := range []struct {
+		name  string
+		solve func() (DistResult, error)
+	}{
+		{"SolveDistributedCtx", func() (DistResult, error) {
+			return SolveDistributedCtx(ctx, 64, 16, 2, 1)
+		}},
+		{"SolveDistributed2DCtx", func() (DistResult, error) {
+			return SolveDistributed2DCtx(ctx, 64, 16, 2, 2, 1)
+		}},
+		{"SolveDistributed2DHybridCtx", func() (DistResult, error) {
+			return SolveDistributed2DHybridCtx(ctx, 64, 16, 2, 2, 1)
+		}},
+		{"SolveDistributed2DFTCtx", func() (DistResult, error) {
+			return SolveDistributed2DFTCtx(ctx, 64, 16, 2, 2, 1, FTConfig{})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.solve(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// Cancelling mid-run unwinds every rank at a stage boundary: the world
+// drains (no leaked rank goroutines) and the caller sees the plain
+// ctx.Err(), never a wrapped transport error from the unwinding fabric.
+func TestDistributedCtxCancelMidRun(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	for _, tc := range []struct {
+		name  string
+		solve func(ctx context.Context) (DistResult, error)
+	}{
+		{"SolveDistributedCtx", func(ctx context.Context) (DistResult, error) {
+			return SolveDistributedCtx(ctx, 96, 8, 3, 5)
+		}},
+		{"SolveDistributed2DCtx", func(ctx context.Context) (DistResult, error) {
+			return SolveDistributed2DCtx(ctx, 96, 8, 2, 2, 5)
+		}},
+		{"SolveDistributed2DHybridCtx", func(ctx context.Context) (DistResult, error) {
+			return SolveDistributed2DHybridCtx(ctx, 96, 8, 2, 2, 5)
+		}},
+		{"SolveDistributed2DFTCtx", func(ctx context.Context) (DistResult, error) {
+			return SolveDistributed2DFTCtx(ctx, 96, 8, 2, 2, 5, FTConfig{})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// Let a few stage-boundary checks pass, then cancel: some ranks
+			// are mid-stage when the first one observes the cancellation.
+			ctx := &countCtx{Context: context.Background(), after: 6}
+			if _, err := tc.solve(ctx); !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// A ctx solve that runs to completion is indistinguishable from the plain
+// one — bitwise for the deterministic drivers, residual-checked for the
+// hybrid.
+func TestDistributedCtxCompletedMatchesPlain(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	want, err := SolveDistributed2D(64, 16, 2, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SolveDistributed2DCtx(context.Background(), 64, 16, 2, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.X) != len(want.X) {
+		t.Fatalf("solution length %d != %d", len(got.X), len(want.X))
+	}
+	for i := range want.X {
+		if got.X[i] != want.X[i] {
+			t.Fatalf("solution differs at %d: %g vs %g", i, got.X[i], want.X[i])
+		}
+	}
+
+	hr, err := SolveDistributed2DHybridCtx(context.Background(), 64, 16, 2, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hr.Residual > matrix.ResidualThreshold {
+		t.Errorf("hybrid ctx residual %g FAILED", hr.Residual)
+	}
+}
+
+// Cancellation during a fault-tolerant run must not be misread as a fault:
+// no restart is consumed and no *FaultError wraps the context error.
+func TestFTCtxCancelIsNotAFault(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	plan := mustParsePlan(t, "crash=1@2")
+	ctx := &countCtx{Context: context.Background(), after: 2}
+	_, err := SolveDistributed2DFTCtx(ctx, 96, 8, 2, 2, 5, FTConfig{Plan: plan, MaxRestarts: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var fe *FaultError
+	if errors.As(err, &fe) {
+		t.Fatalf("cancellation came back wrapped in *FaultError: %v", fe)
+	}
+}

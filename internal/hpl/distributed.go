@@ -9,6 +9,7 @@
 package hpl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -43,8 +44,19 @@ type DistResult struct {
 // each rank's local panels. The factors are bitwise identical to the
 // sequential blocked algorithm; the returned residual is the HPL check.
 func SolveDistributed(n, nb, ranks int, seed uint64) (DistResult, error) {
+	return SolveDistributedCtx(context.Background(), n, nb, ranks, seed)
+}
+
+// SolveDistributedCtx is SolveDistributed under a context: every rank
+// observes cancellation at its stage boundary, the first rank to return
+// aborts the world (unblocking peers parked on fabric operations), and the
+// caller always sees the plain ctx.Err() once ctx is done.
+func SolveDistributedCtx(ctx context.Context, n, nb, ranks int, seed uint64) (DistResult, error) {
 	if n < 1 || ranks < 1 {
 		return DistResult{}, errors.New("hpl: n and ranks must be positive")
+	}
+	if err := ctx.Err(); err != nil {
+		return DistResult{}, err
 	}
 	if nb < 1 || nb > n {
 		nb = clampNB(n)
@@ -56,8 +68,11 @@ func SolveDistributed(n, nb, ranks int, seed uint64) (DistResult, error) {
 	errs := make([]error, ranks)
 
 	if err := world.Run(func(c *Comm) error {
-		return runRank(c, n, nb, np, seed, results, errs)
+		return runRank(ctx, c, n, nb, np, seed, results, errs)
 	}); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return results[0], cerr
+		}
 		return results[0], err
 	}
 	for _, e := range errs {
@@ -82,7 +97,7 @@ func clampNB(n int) int {
 // runRank is the per-node program. Fabric and payload-shape problems are
 // returned directly; a singular matrix is reported through errs[0] after
 // the gather so the residual check still runs on the partial factors.
-func runRank(c *Comm, n, nb, np int, seed uint64, results []DistResult, errs []error) error {
+func runRank(ctx context.Context, c *Comm, n, nb, np int, seed uint64, results []DistResult, errs []error) error {
 	rank, size := c.Rank(), c.Size()
 
 	// Deterministic generation: every rank derives the same global matrix
@@ -101,6 +116,11 @@ func runRank(c *Comm, n, nb, np int, seed uint64, results []DistResult, errs []e
 	var firstErr error
 
 	for p := 0; p < np; p++ {
+		// Stage boundary: every rank checks before issuing the stage's
+		// broadcast, so all ranks unwind at the same panel.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		lo, w := panelSpan(n, nb, p)
 		owner := cluster.CyclicOwner(p, size)
 

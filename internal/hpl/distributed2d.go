@@ -1,6 +1,7 @@
 package hpl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -27,8 +28,27 @@ import (
 // Factors and pivots are bitwise identical to the sequential blocked
 // algorithm, and the solution passes the HPL residual test.
 func SolveDistributed2D(n, nb, p, q int, seed uint64) (DistResult, error) {
+	return SolveDistributed2DCtx(context.Background(), n, nb, p, q, seed)
+}
+
+// SolveDistributed2DCtx is SolveDistributed2D under a context. Every rank
+// observes cancellation at its stage boundary; the first rank to return
+// ctx.Err() aborts the world, which unblocks any peers parked mid-protocol.
+// Once ctx is done the caller sees the plain ctx.Err() — never a wrapped
+// transport error from the unwinding fabric.
+func SolveDistributed2DCtx(ctx context.Context, n, nb, p, q int, seed uint64) (DistResult, error) {
+	return solve2D(ctx, n, nb, p, q, seed, false)
+}
+
+// solve2D is the shared world-construction core of the plain and hybrid 2D
+// solvers. offloadUpdates routes trailing updates through the offload
+// work-stealing engine.
+func solve2D(ctx context.Context, n, nb, p, q int, seed uint64, offloadUpdates bool) (DistResult, error) {
 	if n < 1 || p < 1 || q < 1 {
 		return DistResult{}, errors.New("hpl: n, P and Q must be positive")
+	}
+	if err := ctx.Err(); err != nil {
+		return DistResult{}, err
 	}
 	if nb < 1 || nb > n {
 		nb = clampNB(n)
@@ -41,10 +61,13 @@ func SolveDistributed2D(n, nb, p, q int, seed uint64) (DistResult, error) {
 	results := make([]DistResult, p*q)
 	errs := make([]error, p*q)
 	if err := world.Run(func(c *Comm) error {
-		g := &grid2d{c: c, P: p, Q: q, n: n, nb: nb, nBlocks: nBlocks}
+		g := &grid2d{c: c, ctx: ctx, P: p, Q: q, n: n, nb: nb, nBlocks: nBlocks, offloadUpdates: offloadUpdates}
 		g.p, g.q = c.Rank()/q, c.Rank()%q
 		return g.run(seed, results, errs)
 	}); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return results[0], cerr
+		}
 		return results[0], err
 	}
 	for _, e := range errs {
@@ -58,7 +81,8 @@ func SolveDistributed2D(n, nb, p, q int, seed uint64) (DistResult, error) {
 // grid2d is one process of the 2D solver.
 type grid2d struct {
 	c          *Comm
-	p, q       int // my grid coordinates
+	ctx        context.Context // cancellation, observed at stage boundaries
+	p, q       int             // my grid coordinates
 	P, Q       int
 	n, nb      int
 	nBlocks    int
@@ -140,6 +164,12 @@ func (g *grid2d) stage(k int) error {
 func (g *grid2d) run(seed uint64, results []DistResult, errs []error) error {
 	full, rhs := g.scatter(seed)
 	for k := 0; k < g.nBlocks; k++ {
+		// Stage boundary: every rank observes cancellation here, before
+		// issuing any of the stage's sends, so the fabric is quiescent
+		// between ranks when the world unwinds.
+		if err := g.ctxErr(); err != nil {
+			return err
+		}
 		if err := g.c.Progress(k); err != nil {
 			return err
 		}
@@ -148,6 +178,14 @@ func (g *grid2d) run(seed uint64, results []DistResult, errs []error) error {
 		}
 	}
 	return g.gatherAndSolve(full, rhs, results, errs)
+}
+
+// ctxErr reports the grid's cancellation state (nil ctx: never cancelled).
+func (g *grid2d) ctxErr() error {
+	if g.ctx == nil {
+		return nil
+	}
+	return g.ctx.Err()
 }
 
 // factorPanel gathers block column k (rows k*nb..n) on the diagonal owner,
@@ -420,7 +458,9 @@ func (g *grid2d) update(k int) error {
 				g.p, g.q, k, i, j)
 		}
 		if g.offloadUpdates {
-			offloadUpdate(l, u, blk)
+			if err := offloadUpdate(g.ctx, l, u, blk); err != nil {
+				return err
+			}
 		} else {
 			// Same crossover as the sequential Dgetrf trailing update (k
 			// decides alone), so the 2D solver stays bitwise identical to

@@ -1,6 +1,7 @@
 package hpl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -104,7 +105,7 @@ const ftTol = 1e-3
 
 // verdict codes of the super-step verification.
 const (
-	ftClean = iota
+	ftClean   = iota
 	ftFixed   // a data block was reconstructed from the checksums
 	ftRebuilt // a checksum block was rebuilt from clean data
 	ftLost    // corruption could not be localized
@@ -120,6 +121,15 @@ const (
 // On unrecoverable faults it returns a *FaultError — never garbage,
 // never a hang.
 func SolveDistributed2DFT(n, nb, p, q int, seed uint64, cfg FTConfig) (DistResult, error) {
+	return SolveDistributed2DFTCtx(context.Background(), n, nb, p, q, seed, cfg)
+}
+
+// SolveDistributed2DFTCtx is SolveDistributed2DFT under a context.
+// Cancellation is not a fault: once ctx is done the attempt unwinds at the
+// next super-step boundary and the plain ctx.Err() is returned directly —
+// no rollback, no respawn, no *FaultError wrapping — so callers can always
+// distinguish "you asked me to stop" from "the machine failed".
+func SolveDistributed2DFTCtx(ctx context.Context, n, nb, p, q int, seed uint64, cfg FTConfig) (DistResult, error) {
 	if n < 1 || p < 1 || q < 1 {
 		return DistResult{}, errors.New("hpl: n, P and Q must be positive")
 	}
@@ -147,6 +157,9 @@ func SolveDistributed2DFT(n, nb, p, q int, seed uint64, cfg FTConfig) (DistResul
 	var profile []StageProfile
 
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return DistResult{}, err
+		}
 		world := cluster.NewWorldOpts(p*q, cluster.Options{
 			Buffer:   nBlocks*nBlocks + 16,
 			Timeout:  cfg.Timeout,
@@ -159,7 +172,7 @@ func SolveDistributed2DFT(n, nb, p, q int, seed uint64, cfg FTConfig) (DistResul
 		prof := make([]StageProfile, 0, nBlocks)
 
 		runErr := world.Run(func(c *Comm) error {
-			g2 := &grid2d{c: c, P: p, Q: q, n: n, nb: nb, nBlocks: nBlocks}
+			g2 := &grid2d{c: c, ctx: ctx, P: p, Q: q, n: n, nb: nb, nBlocks: nBlocks}
 			g2.p, g2.q = c.Rank()/q, c.Rank()%q
 			f := &ftGrid{
 				grid2d: g2, in: in, store: store, cfg: cfg,
@@ -187,6 +200,10 @@ func SolveDistributed2DFT(n, nb, p, q int, seed uint64, cfg FTConfig) (DistResul
 		}
 		lastErr = runErr
 		store.resetPending()
+		if cerr := ctx.Err(); cerr != nil {
+			// Cancellation, not a fault: don't burn a restart on it.
+			return DistResult{}, cerr
+		}
 		if attempt >= cfg.MaxRestarts {
 			return DistResult{}, &FaultError{
 				Iter:     store.iterReached(),
@@ -233,6 +250,10 @@ func (f *ftGrid) runFT(seed uint64, results []DistResult, errs []error) error {
 	}
 
 	for k := start; k < f.nBlocks; k++ {
+		// Super-step boundary: the FT loop's cancellation point.
+		if err := f.ctxErr(); err != nil {
+			return err
+		}
 		f.store.noteIter(k)
 		t0 := time.Now()
 		ts := f.cfg.Trace.Start()

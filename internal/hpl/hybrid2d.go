@@ -1,9 +1,8 @@
 package hpl
 
 import (
-	"errors"
+	"context"
 
-	"phihpl/internal/cluster"
 	"phihpl/internal/matrix"
 	"phihpl/internal/offload"
 )
@@ -20,34 +19,20 @@ import (
 // kernel accumulates in a different order), so tests compare solutions to
 // within floating-point round-off.
 func SolveDistributed2DHybrid(n, nb, p, q int, seed uint64) (DistResult, error) {
-	if n < 1 || p < 1 || q < 1 {
-		return DistResult{}, errors.New("hpl: n, P and Q must be positive")
-	}
-	if nb < 1 || nb > n {
-		nb = clampNB(n)
-	}
-	nBlocks := (n + nb - 1) / nb
-
-	world := cluster.NewWorld(p*q, nBlocks*nBlocks+16)
-	results := make([]DistResult, p*q)
-	errs := make([]error, p*q)
-	if err := world.Run(func(c *Comm) error {
-		g := &grid2d{c: c, P: p, Q: q, n: n, nb: nb, nBlocks: nBlocks, offloadUpdates: true}
-		g.p, g.q = c.Rank()/q, c.Rank()%q
-		return g.run(seed, results, errs)
-	}); err != nil {
-		return results[0], err
-	}
-	for _, e := range errs {
-		if e != nil {
-			return results[0], e
-		}
-	}
-	return results[0], nil
+	return SolveDistributed2DHybridCtx(context.Background(), n, nb, p, q, seed)
 }
 
-// offloadUpdate computes blk -= l·u through the work-stealing engine.
-func offloadUpdate(l, u, blk *matrix.Dense) {
+// SolveDistributed2DHybridCtx is SolveDistributed2DHybrid under a context:
+// cancellation is observed both at every rank's stage boundary and inside
+// the offload engine itself, so a rank parked in a long trailing update
+// unwinds without waiting for the stage to finish.
+func SolveDistributed2DHybridCtx(ctx context.Context, n, nb, p, q int, seed uint64) (DistResult, error) {
+	return solve2D(ctx, n, nb, p, q, seed, true)
+}
+
+// offloadUpdate computes blk -= l·u through the work-stealing engine,
+// propagating ctx into the engine (nil ctx means run to completion).
+func offloadUpdate(ctx context.Context, l, u, blk *matrix.Dense) error {
 	// C += (-L)·U: negate a copy of L once; tiles sized for a card+host
 	// split even on small blocks.
 	negL := l.Clone()
@@ -57,9 +42,13 @@ func offloadUpdate(l, u, blk *matrix.Dense) {
 			row[j] = -row[j]
 		}
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	mt := blk.Rows/2 + 1
 	nt := blk.Cols/2 + 1
-	offload.Compute(negL, u, blk, offload.RealConfig{
+	_, err := offload.ComputeCtx(ctx, negL, u, blk, offload.RealConfig{
 		Mt: mt, Nt: nt, CardWorkers: 1, HostWorkers: 1,
 	})
+	return err
 }

@@ -169,6 +169,11 @@ type Result struct {
 	// Skipped marks a combination rejected for illegal input values; it
 	// prints no WR or residual line but is counted in the report footer.
 	Skipped bool
+	// Aborted marks a run cancelled before completion (timeout, SIGINT):
+	// its WR line still prints with whatever time elapsed, the residual
+	// line reports ABORTED instead of a verdict, and the footer counts it
+	// separately — a partial report is still a truthful report.
+	Aborted bool
 }
 
 // WriteReport renders results in the HPL.out layout. Skipped combinations
@@ -185,7 +190,15 @@ func WriteReport(w io.Writer, results []Result) {
 			r.Depth, "C2C4", r.N, r.NB, r.P, r.Q, r.Seconds, r.GFLOPS)
 	}
 	for _, r := range results {
-		if !r.Skipped && r.Residual >= 0 {
+		if r.Skipped {
+			continue
+		}
+		if r.Aborted {
+			fmt.Fprintf(w, "N=%d NB=%d P=%d Q=%d run cancelled before completion ...... ABORTED\n",
+				r.N, r.NB, r.P, r.Q)
+			continue
+		}
+		if r.Residual >= 0 {
 			status := "PASSED"
 			if !r.Passed {
 				status = "FAILED"
@@ -194,10 +207,14 @@ func WriteReport(w io.Writer, results []Result) {
 				r.Residual, status)
 		}
 	}
-	passed, failed, skipped := 0, 0, 0
+	passed, failed, skipped, aborted := 0, 0, 0, 0
 	for _, r := range results {
 		if r.Skipped {
 			skipped++
+			continue
+		}
+		if r.Aborted {
+			aborted++
 			continue
 		}
 		if r.Residual < 0 {
@@ -210,10 +227,13 @@ func WriteReport(w io.Writer, results []Result) {
 		}
 	}
 	fmt.Fprintln(w, strings.Repeat("-", 72))
-	fmt.Fprintf(w, "Finished %6d tests with the following results:\n", len(results)-skipped)
+	fmt.Fprintf(w, "Finished %6d tests with the following results:\n", len(results)-skipped-aborted)
 	fmt.Fprintf(w, "         %6d tests completed and passed residual checks,\n", passed)
 	fmt.Fprintf(w, "         %6d tests completed and failed residual checks,\n", failed)
 	fmt.Fprintf(w, "         %6d tests skipped because of illegal input values.\n", skipped)
+	if aborted > 0 {
+		fmt.Fprintf(w, "         %6d tests aborted before completion.\n", aborted)
+	}
 }
 
 // SortResults orders results the way HPL prints them (by grid, N, NB, depth).

@@ -1,0 +1,72 @@
+package lu
+
+import (
+	"context"
+	"runtime/debug"
+
+	"phihpl/internal/blas"
+	"phihpl/internal/matrix"
+	"phihpl/internal/pool"
+)
+
+// protect runs fn behind a recover barrier, mirroring the pool's internal
+// one: a panic is contained into a typed *pool.PanicError (worker = the
+// lane that ran it, -1 for the caller) instead of propagating.
+func protect(worker int, fn func()) (pe *pool.PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe = &pool.PanicError{Worker: worker, Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// SequentialCtx factors a in place like Sequential, but observes ctx at
+// every stage boundary: once ctx is done, no further panel is factored and
+// ctx.Err() is returned, leaving the matrix partially factored. It runs
+// the same blocked right-looking elimination through the shared task
+// kernels, so a completed SequentialCtx run is bitwise identical to
+// Sequential (and to the concurrent drivers). A panic inside a kernel is
+// returned as a *pool.PanicError.
+func SequentialCtx(ctx context.Context, a *matrix.Dense, piv []int, opts Options) error {
+	opts = opts.withDefaults(a.Cols)
+	st := newState(a, opts)
+	var firstErr error
+	for s := 0; s < st.np; s++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if pe := protect(-1, func() {
+			if err := st.factorPanel(s); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			for p := s + 1; p < st.np; p++ {
+				st.updatePanel(s, p, opts.Workers)
+			}
+		}); pe != nil {
+			return pe
+		}
+	}
+	st.finishLeftSwaps()
+	st.globalPivots(piv)
+	return firstErr
+}
+
+// SolveCtx factors a copy of A under ctx and solves A·x = b, returning the
+// solution and the scaled HPL residual. driver is one of SequentialCtx,
+// StaticLookaheadCtx or DynamicCtx. On cancellation the driver's ctx error
+// is returned and no solution is produced.
+func SolveCtx(ctx context.Context, a *matrix.Dense, b []float64, opts Options,
+	driver func(context.Context, *matrix.Dense, []int, Options) error) (x []float64, residual float64, err error) {
+	lu := a.Clone()
+	piv := make([]int, a.Rows)
+	if err := driver(ctx, lu, piv, opts); err != nil {
+		return nil, 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	x = blas.LUSolve(lu, piv, b)
+	return x, matrix.Residual(a, x, b), nil
+}

@@ -1,0 +1,164 @@
+package lu
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"phihpl/internal/matrix"
+	"phihpl/internal/pool"
+	"phihpl/internal/testutil"
+)
+
+// countCtx cancels itself deterministically after its Err method has been
+// consulted `after` times — scheduler-independent mid-run cancellation.
+type countCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *countCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+var ctxDrivers = []struct {
+	name   string
+	driver func(context.Context, *matrix.Dense, []int, Options) error
+}{
+	{"SequentialCtx", SequentialCtx},
+	{"StaticLookaheadCtx", StaticLookaheadCtx},
+	{"DynamicCtx", DynamicCtx},
+}
+
+// A completed ctx run must be bitwise identical to the non-ctx reference.
+func TestCtxDriversBitwiseIdentical(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	n := 96
+	ref := matrix.RandomGeneral(n, n, 3)
+	want := ref.Clone()
+	wantPiv := make([]int, n)
+	if err := Sequential(want, wantPiv, Options{NB: 16}); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ctxDrivers {
+		t.Run(d.name, func(t *testing.T) {
+			got := ref.Clone()
+			piv := make([]int, n)
+			if err := d.driver(context.Background(), got, piv, Options{NB: 16, Workers: 3}); err != nil {
+				t.Fatal(err)
+			}
+			if !matrix.Equal(got, want) {
+				t.Error("factors differ bitwise from Sequential")
+			}
+			for i := range piv {
+				if piv[i] != wantPiv[i] {
+					t.Fatalf("pivot %d differs: %d vs %d", i, piv[i], wantPiv[i])
+				}
+			}
+		})
+	}
+}
+
+func TestCtxDriversAlreadyCancelled(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, d := range ctxDrivers {
+		t.Run(d.name, func(t *testing.T) {
+			a := matrix.RandomGeneral(64, 64, 5)
+			before := a.Clone()
+			err := d.driver(ctx, a, make([]int, 64), Options{NB: 16, Workers: 2})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if !matrix.Equal(a, before) {
+				t.Error("cancelled-before-start driver modified the matrix")
+			}
+		})
+	}
+}
+
+func TestCtxDriversCancelMidRun(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	for _, d := range ctxDrivers {
+		t.Run(d.name, func(t *testing.T) {
+			a := matrix.RandomGeneral(128, 128, 7)
+			ctx := &countCtx{Context: context.Background(), after: 3}
+			err := d.driver(ctx, a, make([]int, 128), Options{NB: 8, Workers: 2})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// A panic in a task kernel must come back as a typed *pool.PanicError from
+// every driver — never crash the process, never leak a worker.
+func TestCtxDriversPanicContained(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	testHookPanelFact = func(p int) {
+		if p == 1 {
+			panic("panel kernel blew up")
+		}
+	}
+	defer func() { testHookPanelFact = nil }()
+	for _, d := range ctxDrivers {
+		t.Run(d.name, func(t *testing.T) {
+			a := matrix.RandomGeneral(96, 96, 9)
+			err := d.driver(context.Background(), a, make([]int, 96), Options{NB: 16, Workers: 3})
+			var pe *pool.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *pool.PanicError", err)
+			}
+			if pe.Value != "panel kernel blew up" {
+				t.Errorf("recovered value = %v", pe.Value)
+			}
+		})
+	}
+}
+
+// The non-ctx entry points contain the same panic (no process crash).
+func TestNonCtxDriversPanicContained(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	testHookPanelFact = func(p int) { panic("boom") }
+	defer func() { testHookPanelFact = nil }()
+	for _, d := range []struct {
+		name   string
+		driver func(*matrix.Dense, []int, Options) error
+	}{
+		{"StaticLookahead", StaticLookahead},
+		{"Dynamic", Dynamic},
+	} {
+		t.Run(d.name, func(t *testing.T) {
+			a := matrix.RandomGeneral(64, 64, 11)
+			err := d.driver(a, make([]int, 64), Options{NB: 16, Workers: 2})
+			var pe *pool.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *pool.PanicError", err)
+			}
+		})
+	}
+}
+
+func TestSolveCtx(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	n := 80
+	a, b := matrix.RandomSystem(n, 13)
+	x, res, err := SolveCtx(context.Background(), a, b, Options{NB: 16, Workers: 2}, DynamicCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != n || res > 16 {
+		t.Errorf("bad solve: res=%g", res)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := SolveCtx(ctx, a, b, Options{NB: 16}, SequentialCtx); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled SolveCtx: err = %v", err)
+	}
+}

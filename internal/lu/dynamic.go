@@ -1,11 +1,15 @@
 package lu
 
 import (
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"phihpl/internal/dag"
 	"phihpl/internal/matrix"
+	"phihpl/internal/pool"
 )
 
 // Dynamic factors a in place using the DAG-based dynamic scheduler of
@@ -19,8 +23,21 @@ import (
 // StaticLookahead. With opts.Trace attached, every executed task emits a
 // per-worker wall-clock span (PanelFact/Update), which is the real
 // measured counterpart of the paper's Figure 7 Gantt chart.
+//
+// A panic inside a task is contained: the remaining workers stop claiming
+// tasks, every goroutine drains, and the panic is returned as a typed
+// *pool.PanicError instead of crashing the process.
 func Dynamic(a *matrix.Dense, piv []int, opts Options) error {
-	_, err := runDynamic(a, piv, opts)
+	_, err := runDynamic(context.Background(), a, piv, opts)
+	return err
+}
+
+// DynamicCtx is Dynamic under a context: cancellation is observed at every
+// DAG task-issue boundary — once ctx is done no further task is claimed,
+// all workers drain, and ctx.Err() is returned. The matrix contents are
+// then an unspecified partial factorization and must not be used.
+func DynamicCtx(ctx context.Context, a *matrix.Dense, piv []int, opts Options) error {
+	_, err := runDynamic(ctx, a, piv, opts)
 	return err
 }
 
@@ -28,27 +45,51 @@ func Dynamic(a *matrix.Dense, piv []int, opts Options) error {
 // statistics (critical-section entries, tasks issued), which back the
 // contention ablation in the benchmarks.
 func DynamicStats(a *matrix.Dense, piv []int, opts Options) (dag.Stats, error) {
-	sched, err := runDynamic(a, piv, opts)
+	sched, err := runDynamic(context.Background(), a, piv, opts)
 	return sched.Stats(), err
 }
 
-// runDynamic is the shared driver behind Dynamic and DynamicStats.
-func runDynamic(a *matrix.Dense, piv []int, opts Options) (*dag.Scheduler, error) {
+// runDynamic is the shared driver behind Dynamic, DynamicCtx and
+// DynamicStats.
+func runDynamic(ctx context.Context, a *matrix.Dense, piv []int, opts Options) (*dag.Scheduler, error) {
 	opts = opts.withDefaults(a.Cols)
 	st := newState(a, opts)
 	sched := dag.New(st.np)
+	if err := ctx.Err(); err != nil {
+		return sched, err
+	}
 	rec := opts.Trace
 
 	var (
 		wg       sync.WaitGroup
+		abort    atomic.Bool // a worker panicked: nobody claims further tasks
 		errMu    sync.Mutex
 		firstErr error
+		perr     *pool.PanicError
 	)
 	for g := 0; g < opts.Workers; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			for {
+			// Recover barrier: a panicking task must fail the solve, not
+			// kill the process. The claimed task is deliberately left
+			// un-Completed — abort stops the other workers from spinning
+			// on its dependents.
+			defer func() {
+				if v := recover(); v != nil {
+					abort.Store(true)
+					errMu.Lock()
+					if perr == nil {
+						perr = &pool.PanicError{Worker: g, Value: v, Stack: string(debug.Stack())}
+					}
+					errMu.Unlock()
+				}
+			}()
+			for !abort.Load() {
+				// Task-issue boundary: the cancellation check of DynamicCtx.
+				if ctx.Err() != nil {
+					return
+				}
 				task, ok := sched.Next()
 				if !ok {
 					if sched.Done() {
@@ -83,7 +124,20 @@ func runDynamic(a *matrix.Dense, piv []int, opts Options) (*dag.Scheduler, error
 	}
 	wg.Wait()
 
+	errMu.Lock()
+	pe, fe := perr, firstErr
+	errMu.Unlock()
+	if pe != nil {
+		return sched, pe
+	}
+	if !sched.Done() {
+		// Cut short without a panic: only cancellation stops the DAG early.
+		if err := ctx.Err(); err != nil {
+			return sched, err
+		}
+		return sched, context.Canceled
+	}
 	st.finishLeftSwaps()
 	st.globalPivots(piv)
-	return sched, firstErr
+	return sched, fe
 }

@@ -77,6 +77,11 @@ func Sequential(a *matrix.Dense, piv []int, opts Options) error {
 	return blas.Dgetrf(a, piv, opts.NB)
 }
 
+// testHookPanelFact, when non-nil, runs at the top of every panel
+// factorization. Set only by tests (before a driver starts) to inject
+// panics into the task kernels.
+var testHookPanelFact func(p int)
+
 // state carries the shared factorization context of the concurrent drivers.
 type state struct {
 	a         *matrix.Dense
@@ -109,6 +114,9 @@ func newState(a *matrix.Dense, opts Options) *state {
 // permutation state its consumers expect — the same reason HPL applies
 // swaps to the L panel copy it broadcasts rather than in place.
 func (st *state) factorPanel(p int) error {
+	if h := testHookPanelFact; h != nil {
+		h(p)
+	}
 	lo, hi := panelCols(st.n, st.nb, p)
 	w := hi - lo
 	panel := st.a.View(lo, lo, st.n-lo, w)

@@ -1,16 +1,23 @@
 package offload
 
 import (
+	"context"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"phihpl/internal/blas"
+	"phihpl/internal/fault"
 	"phihpl/internal/matrix"
 	"phihpl/internal/pack"
+	"phihpl/internal/pool"
 )
 
 // RealConfig configures the functional offload engine.
 type RealConfig struct {
-	// Mt, Nt are the nominal tile dimensions (0 -> 64).
+	// Mt, Nt are the nominal tile dimensions (0 -> 64; values larger than
+	// the matrix clamp to its extents).
 	Mt, Nt int
 	// CardWorkers emulate coprocessor cards: goroutines that consume
 	// tiles from the top-left, packing operands into the Knights
@@ -18,14 +25,38 @@ type RealConfig struct {
 	CardWorkers int
 	// HostWorkers consume tiles from the bottom-right with plain DGEMM.
 	HostWorkers int
+	// StallTimeout arms the straggler monitor: a card worker whose
+	// heartbeat goes silent for longer is declared lost, its
+	// unacknowledged tile is reclaimed into the steal queue, and the run
+	// degrades toward host-only execution instead of hanging. It must
+	// comfortably exceed the compute time of one tile. 0 disables
+	// monitoring (a wedged card worker then blocks the run, as a real
+	// un-fenced offload would).
+	StallTimeout time.Duration
+	// Fault injects deterministic card-worker faults for chaos testing,
+	// reusing the fault-plan machinery of the distributed layer: a
+	// crash=w@t event kills card worker w at its t-th tile claim (before
+	// computing), and stall=w@t:dur wedges it for dur at that claim. When
+	// the plan schedules card faults and StallTimeout is zero, a default
+	// of 50ms is applied so the faults are actually detected.
+	Fault *fault.Plan
 }
 
-func (c RealConfig) withDefaults() RealConfig {
+func (c RealConfig) withDefaults(m, n int) RealConfig {
 	if c.Mt < 1 {
 		c.Mt = 64
 	}
 	if c.Nt < 1 {
 		c.Nt = 64
+	}
+	// Tile dims larger than the matrix are silently accepted by the tile
+	// planner (it clamps), but a config echoing them back misleads; clamp
+	// here so cfg always describes the grid actually used.
+	if m > 0 && c.Mt > m {
+		c.Mt = m
+	}
+	if n > 0 && c.Nt > n {
+		c.Nt = n
 	}
 	if c.CardWorkers < 0 {
 		c.CardWorkers = 0
@@ -36,44 +67,121 @@ func (c RealConfig) withDefaults() RealConfig {
 	if c.CardWorkers+c.HostWorkers == 0 {
 		c.CardWorkers = 1
 	}
+	if c.StallTimeout == 0 && c.Fault != nil &&
+		(len(c.Fault.Crashes) > 0 || len(c.Fault.Stalls) > 0) {
+		c.StallTimeout = 50 * time.Millisecond
+	}
 	return c
 }
 
-// Stats reports how the tile grid was split by the work-stealing loop.
+// Stats reports how the tile grid was split by the work-stealing loop and
+// what the straggler monitor had to do.
 type Stats struct {
 	CardTiles, HostTiles int
+	// ReclaimedTiles counts tiles taken back from lost card workers and
+	// re-queued; LostWorkers counts card workers declared dead by the
+	// straggler monitor. Degraded is set whenever any card worker was
+	// lost — the run completed on the surviving workers (host-only in the
+	// worst case).
+	ReclaimedTiles int
+	LostWorkers    int
+	Degraded       bool
 }
 
-// stealQueue hands out tile indices from both ends of [0, n).
+// stealQueue hands out tile indices from both ends of [0, n), and serves
+// tiles reclaimed from lost workers before fresh ones.
 type stealQueue struct {
 	mu         sync.Mutex
 	head, tail int // head = next front index, tail = next back index
+	reclaimed  []int
 }
 
 func newStealQueue(n int) *stealQueue { return &stealQueue{head: 0, tail: n - 1} }
 
-// front claims the next tile from the top-left; ok=false when exhausted.
-func (q *stealQueue) front() (int, bool) {
+// take claims the next tile — from the top-left when front is true, from
+// the bottom-right otherwise; ok=false when nothing is claimable right now
+// (reclaims may still arrive later).
+func (q *stealQueue) take(front bool) (int, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if k := len(q.reclaimed); k > 0 {
+		i := q.reclaimed[k-1]
+		q.reclaimed = q.reclaimed[:k-1]
+		return i, true
+	}
 	if q.head > q.tail {
 		return 0, false
 	}
-	i := q.head
-	q.head++
-	return i, true
-}
-
-// back claims the next tile from the bottom-right.
-func (q *stealQueue) back() (int, bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.head > q.tail {
-		return 0, false
+	if front {
+		i := q.head
+		q.head++
+		return i, true
 	}
 	i := q.tail
 	q.tail--
 	return i, true
+}
+
+// front and back keep the historical single-end claim API.
+func (q *stealQueue) front() (int, bool) { return q.take(true) }
+func (q *stealQueue) back() (int, bool)  { return q.take(false) }
+
+// push returns a reclaimed tile to the queue.
+func (q *stealQueue) push(idx int) {
+	q.mu.Lock()
+	q.reclaimed = append(q.reclaimed, idx)
+	q.mu.Unlock()
+}
+
+// testHookCardTile, when non-nil, runs on a card worker right before it
+// computes a claimed tile. Set only by tests (before workers start) to
+// inject panics into the card path.
+var testHookCardTile func(worker, tile int)
+
+// tile ownership states (owner[] values outside these are worker ids).
+const (
+	tileFree int32 = -1 // in the queue, unclaimed
+	tileDone int32 = -2 // committed exactly once
+)
+
+// synthetic worker ids for the non-card claimants.
+const (
+	hostIDBase int32 = 1 << 20
+	callerID   int32 = 1 << 21
+)
+
+// engine is the shared state of one ComputeCtx run.
+type engine struct {
+	ctx     context.Context
+	a, b, c *matrix.Dense
+	plan    TilePlan
+	cfg     RealConfig
+	q       *stealQueue
+	nt      int
+	in      *fault.Injector
+
+	owner     []atomic.Int32 // per-tile: tileFree | worker id | tileDone
+	committed atomic.Int32
+
+	// Per card worker: last heartbeat (ns), declared-dead flag, and a
+	// once-guard for releasing the worker's live slot (either the worker
+	// exits or the monitor declares it dead — whichever happens first).
+	beat     []atomic.Int64
+	dead     []atomic.Bool
+	released []atomic.Bool
+
+	live    atomic.Int32
+	allDone chan struct{}
+	drained chan struct{}
+	doneO   sync.Once
+	drainO  sync.Once
+
+	aborted atomic.Bool // a worker panicked: stop claiming
+	perrMu  sync.Mutex
+	perr    *pool.PanicError
+
+	cardN, hostN, reclaimedN, lostN atomic.Int32
+	degraded                        atomic.Bool
 }
 
 // Compute performs C += A·B (A: M×K, B: K×N, C: M×N) using the offload
@@ -82,70 +190,340 @@ func (q *stealQueue) back() (int, bool) {
 // time, until the grid is exhausted. Card workers pack their operands into
 // the tiled Knights Corner layout before multiplying — the same data path
 // as the real offload engine — while host workers run plain DGEMM.
-// The result is bitwise independent of the worker split because tiles are
-// disjoint regions of C.
+// Tiles are disjoint regions of C and each is computed exactly once, so
+// the result is determined entirely by which path executed each tile.
+// A contained worker panic is re-raised here on the caller.
 func Compute(a, b, c *matrix.Dense, cfg RealConfig) Stats {
+	stats, err := ComputeCtx(context.Background(), a, b, c, cfg)
+	if err != nil {
+		// Background never cancels: only a contained panic arrives here.
+		panic(err)
+	}
+	return stats
+}
+
+// ComputeCtx is Compute under a context with straggler recovery. The run
+// stops handing out tiles once ctx is done and returns ctx.Err() together
+// with the partial Stats (every in-flight tile is finished or discarded
+// before return — no goroutine still writes C afterwards, except workers
+// wedged with monitoring disabled). A panicking worker is contained into
+// a *pool.PanicError instead of crashing the process. With
+// cfg.StallTimeout armed, card workers that stall or die have their
+// unacknowledged tiles reclaimed and the run completes on the survivors —
+// host-only in the worst case — reporting the degradation in Stats.
+func ComputeCtx(ctx context.Context, a, b, c *matrix.Dense, cfg RealConfig) (Stats, error) {
 	if a.Rows != c.Rows || b.Cols != c.Cols || a.Cols != b.Rows {
 		panic("offload: Compute dimension mismatch")
 	}
-	cfg = cfg.withDefaults()
+	cfg = cfg.withDefaults(c.Rows, c.Cols)
+	if c.Rows == 0 || c.Cols == 0 || a.Cols == 0 {
+		// Empty update: nothing to do, and PlanTiles would degenerate to a
+		// 0x0 grid (or tiles of a 0-deep product). Report it explicitly.
+		return Stats{}, ctx.Err()
+	}
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+	mRuns.Load().Inc()
 	plan := PlanTiles(c.Rows, c.Cols, cfg.Mt, cfg.Nt)
-	q := newStealQueue(plan.NumTiles())
-
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		stats Stats
-	)
-
-	runTile := func(idx int, card bool) {
-		r0, c0, rows, cols := plan.Tile(idx)
-		av := a.View(r0, 0, rows, a.Cols)
-		bv := b.View(0, c0, b.Rows, cols)
-		cv := c.View(r0, c0, rows, cols)
-		if card {
-			// Host packs, card multiplies from the packed layout.
-			pa := pack.PackA(av, pack.DefaultTileM)
-			pb := pack.PackB(bv)
-			pack.Gemm(pa, pb, cv, 1)
-		} else {
-			blas.Dgemm(false, false, 1, av, bv, 1, cv)
-		}
-		mu.Lock()
-		if card {
-			stats.CardTiles++
-		} else {
-			stats.HostTiles++
-		}
-		mu.Unlock()
+	e := &engine{
+		ctx: ctx, a: a, b: b, c: c, plan: plan, cfg: cfg,
+		q:  newStealQueue(plan.NumTiles()),
+		nt: plan.NumTiles(),
+		in: fault.NewInjector(cfg.Fault),
 	}
+	e.owner = make([]atomic.Int32, e.nt)
+	for i := range e.owner {
+		e.owner[i].Store(tileFree)
+	}
+	e.beat = make([]atomic.Int64, cfg.CardWorkers)
+	e.dead = make([]atomic.Bool, cfg.CardWorkers)
+	e.released = make([]atomic.Bool, cfg.CardWorkers)
+	e.allDone = make(chan struct{})
+	e.drained = make(chan struct{})
+	e.live.Store(int32(cfg.CardWorkers + cfg.HostWorkers))
 
+	now := time.Now().UnixNano()
 	for w := 0; w < cfg.CardWorkers; w++ {
-		wg.Add(1)
+		e.beat[w].Store(now)
+		go e.runCard(w)
+	}
+	for h := 0; h < cfg.HostWorkers; h++ {
+		go e.runHost(hostIDBase + int32(h))
+	}
+	monStop := make(chan struct{})
+	var monWg sync.WaitGroup
+	if cfg.StallTimeout > 0 && cfg.CardWorkers > 0 {
+		monWg.Add(1)
 		go func() {
-			defer wg.Done()
-			for {
-				idx, ok := q.front()
-				if !ok {
-					return
-				}
-				runTile(idx, true)
-			}
+			defer monWg.Done()
+			e.monitor(monStop)
 		}()
 	}
-	for w := 0; w < cfg.HostWorkers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				idx, ok := q.back()
-				if !ok {
-					return
-				}
-				runTile(idx, false)
+
+	select {
+	case <-e.allDone:
+		<-e.drained // survivors exit promptly once every tile is committed
+	case <-ctx.Done():
+		<-e.drained // live workers finish their in-flight tile, then leave
+	case <-e.drained:
+		// Every worker exited or was declared dead before the grid was
+		// done: the caller itself finishes host-side (host-only
+		// degradation when all cards are lost and no host workers exist).
+		e.callerDrain()
+	}
+	close(monStop)
+	monWg.Wait()
+
+	stats := Stats{
+		CardTiles:      int(e.cardN.Load()),
+		HostTiles:      int(e.hostN.Load()),
+		ReclaimedTiles: int(e.reclaimedN.Load()),
+		LostWorkers:    int(e.lostN.Load()),
+		Degraded:       e.degraded.Load(),
+	}
+	e.perrMu.Lock()
+	perr := e.perr
+	e.perrMu.Unlock()
+	if perr != nil {
+		return stats, perr
+	}
+	if int(e.committed.Load()) != e.nt {
+		return stats, ctx.Err()
+	}
+	return stats, nil
+}
+
+// stopNow reports whether claiming must stop (cancellation or contained
+// panic elsewhere).
+func (e *engine) stopNow() bool {
+	return e.aborted.Load() || e.ctx.Err() != nil
+}
+
+// panicked contains a worker panic: record it, stop the region.
+func (e *engine) panicked(worker int, v any) {
+	e.aborted.Store(true)
+	e.perrMu.Lock()
+	if e.perr == nil {
+		e.perr = &pool.PanicError{Worker: worker, Value: v, Stack: string(debug.Stack())}
+	}
+	e.perrMu.Unlock()
+}
+
+// tileCommitted advances the done count, closing allDone on the last tile.
+func (e *engine) tileCommitted() {
+	if int(e.committed.Add(1)) == e.nt {
+		e.doneO.Do(func() { close(e.allDone) })
+	}
+}
+
+// releaseCard releases card worker w's live slot exactly once (self-exit
+// or monitor declaration, whichever comes first).
+func (e *engine) releaseCard(w int) {
+	if e.released[w].Swap(true) {
+		return
+	}
+	e.releaseLive()
+}
+
+func (e *engine) releaseLive() {
+	if e.live.Add(-1) == 0 {
+		e.drainO.Do(func() { close(e.drained) })
+	}
+}
+
+// runCard is one coprocessor card worker: steal from the front, pack,
+// multiply into a private scratch tile, and commit the result under the
+// tile's ownership CAS so a reclaimed tile is never written twice.
+func (e *engine) runCard(w int) {
+	defer e.releaseCard(w)
+	defer func() {
+		if v := recover(); v != nil {
+			e.panicked(w, v)
+		}
+	}()
+	rec := obsTrace.Load()
+	claims := 0
+	for {
+		if e.stopNow() || e.dead[w].Load() {
+			return
+		}
+		idx, ok := e.q.take(true)
+		if !ok {
+			if int(e.committed.Load()) == e.nt {
+				return
 			}
+			e.beat[w].Store(time.Now().UnixNano())
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		e.owner[idx].Store(int32(w))
+		r0, c0, rows, cols := e.plan.Tile(idx)
+		// Snapshot the destination before any stall point; after this,
+		// the worker touches only private data until the commit CAS, so a
+		// zombie never races a peer that recomputed its reclaimed tile.
+		cv := e.c.View(r0, c0, rows, cols)
+		scratch := cv.Clone()
+		// Post-snapshot heartbeat: the monitor's staleness read of this
+		// store is what orders the snapshot before any reclaim.
+		e.beat[w].Store(time.Now().UnixNano())
+		if e.in.CrashAt(w, claims) {
+			return // injected card death: the tile is reclaimed by the monitor
+		}
+		if d, ok := e.in.StallAt(w, claims); ok {
+			time.Sleep(d)
+		}
+		claims++
+		if e.dead[w].Load() {
+			return // declared lost while wedged: discard, never commit
+		}
+		if h := testHookCardTile; h != nil {
+			h(w, idx)
+		}
+		var t0 float64
+		if rec != nil {
+			t0 = rec.Start()
+		}
+		av := e.a.View(r0, 0, rows, e.a.Cols)
+		bv := e.b.View(0, c0, e.b.Rows, cols)
+		pa := pack.PackA(av, pack.DefaultTileM)
+		pb := pack.PackB(bv)
+		pack.Gemm(pa, pb, scratch, 1)
+		if e.owner[idx].CompareAndSwap(int32(w), tileDone) {
+			cv.CopyFrom(scratch)
+			e.cardN.Add(1)
+			if rec != nil {
+				rec.Since(w, "offload.card_tile", idx, t0)
+			}
+			e.tileCommitted()
+		}
+		e.beat[w].Store(time.Now().UnixNano())
+	}
+}
+
+// runHost is one host worker: steal from the back, plain DGEMM straight
+// into C. Host workers are in-process and not monitored.
+func (e *engine) runHost(id int32) {
+	defer e.releaseLive()
+	defer func() {
+		if v := recover(); v != nil {
+			e.panicked(int(id), v)
+		}
+	}()
+	for {
+		if e.stopNow() {
+			return
+		}
+		idx, ok := e.q.take(false)
+		if !ok {
+			if int(e.committed.Load()) == e.nt {
+				return
+			}
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		e.runHostTile(id, idx)
+	}
+}
+
+// runHostTile executes tile idx with the host path and commits it.
+func (e *engine) runHostTile(id int32, idx int) {
+	rec := obsTrace.Load()
+	var t0 float64
+	if rec != nil {
+		t0 = rec.Start()
+	}
+	r0, c0, rows, cols := e.plan.Tile(idx)
+	e.owner[idx].Store(id)
+	av := e.a.View(r0, 0, rows, e.a.Cols)
+	bv := e.b.View(0, c0, e.b.Rows, cols)
+	cv := e.c.View(r0, c0, rows, cols)
+	blas.Dgemm(false, false, 1, av, bv, 1, cv)
+	e.owner[idx].Store(tileDone)
+	e.hostN.Add(1)
+	if rec != nil {
+		rec.Since(int(e.cfg.CardWorkers)+int(id-hostIDBase)%64, "offload.host_tile", idx, t0)
+	}
+	e.tileCommitted()
+}
+
+// callerDrain finishes remaining tiles on the calling goroutine with the
+// host path, waiting on the monitor to reclaim tiles still owned by lost
+// workers. Entered only when every worker goroutine is gone.
+func (e *engine) callerDrain() {
+	for int(e.committed.Load()) != e.nt {
+		if e.stopNow() {
+			return
+		}
+		idx, ok := e.q.take(false)
+		if !ok {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					e.panicked(int(callerID), v)
+				}
+			}()
+			e.runHostTile(callerID, idx)
 		}()
 	}
-	wg.Wait()
-	return stats
+}
+
+// monitor is the straggler watchdog: a card worker silent for longer than
+// StallTimeout is declared lost — its live slot is released, its
+// unacknowledged tiles go back into the steal queue, and the run is
+// marked degraded. Dead workers are re-swept every tick so a tile claimed
+// in the instant before death cannot be orphaned.
+func (e *engine) monitor(stop chan struct{}) {
+	interval := e.cfg.StallTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			now := time.Now().UnixNano()
+			for w := range e.beat {
+				if e.dead[w].Load() {
+					e.reclaimFrom(w)
+					continue
+				}
+				if now-e.beat[w].Load() > int64(e.cfg.StallTimeout) {
+					e.declareDead(w)
+				}
+			}
+		}
+	}
+}
+
+// declareDead marks card worker w lost and reclaims its tiles.
+func (e *engine) declareDead(w int) {
+	if e.dead[w].Swap(true) {
+		return
+	}
+	if e.lostN.Add(1) == 1 {
+		mDegradedRuns.Load().Inc()
+	}
+	e.degraded.Store(true)
+	mLost.Load().Inc()
+	e.reclaimFrom(w)
+	e.releaseCard(w)
+}
+
+// reclaimFrom returns every tile still owned by (dead) worker w to the
+// steal queue.
+func (e *engine) reclaimFrom(w int) {
+	for idx := range e.owner {
+		if e.owner[idx].CompareAndSwap(int32(w), tileFree) {
+			e.q.push(idx)
+			e.reclaimedN.Add(1)
+			mReclaimed.Load().Inc()
+		}
+	}
 }

@@ -1,0 +1,154 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"phihpl/internal/testutil"
+)
+
+func TestDoCtxCompletesLikeDo(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	for _, workers := range []int{1, 2, 8} {
+		var sum atomic.Int64
+		if err := DoCtx(context.Background(), 200, workers, func(i int) {
+			sum.Add(int64(i))
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := sum.Load(); got != 199*200/2 {
+			t.Fatalf("workers=%d: sum = %d", workers, got)
+		}
+	}
+}
+
+func TestDoCtxAlreadyCancelled(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := DoCtx(ctx, 1000, workers, func(int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d jobs ran under a cancelled context", workers, ran.Load())
+		}
+	}
+}
+
+func TestDoCtxCancelMidRegion(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := DoCtx(ctx, 10000, 4, func(i int) {
+		if ran.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got == 0 || got >= 10000 {
+		t.Errorf("cancelled region ran %d of 10000 jobs", got)
+	}
+}
+
+func TestDoCtxDeadline(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := DoCtx(ctx, 1<<30, 4, func(int) { time.Sleep(50 * time.Microsecond) })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestDoCtxPanicContained(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	for _, workers := range []int{1, 4} {
+		err := DoCtx(context.Background(), 100, workers, func(i int) {
+			if i == 3 {
+				panic("kernel blew up")
+			}
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "kernel blew up" {
+			t.Errorf("workers=%d: recovered value = %v", workers, pe.Value)
+		}
+		if !strings.Contains(pe.Stack, "pool") {
+			t.Errorf("workers=%d: PanicError carries no stack", workers)
+		}
+	}
+}
+
+// A panic must stop the region: later indices are not issued once the
+// barrier trips (modulo jobs already in flight).
+func TestDoCtxPanicStopsIssuing(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	var ran atomic.Int64
+	err := DoCtx(context.Background(), 100000, 4, func(i int) {
+		if ran.Add(1) == 5 {
+			panic("boom")
+		}
+		time.Sleep(20 * time.Microsecond)
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got >= 100000 {
+		t.Errorf("panicking region still ran all %d jobs", got)
+	}
+}
+
+// Do re-raises a contained panic on the caller as *PanicError, and the
+// pool workers survive to serve the next region.
+func TestDoRepanicsOnCaller(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	func() {
+		defer func() {
+			v := recover()
+			if v == nil {
+				t.Fatal("Do swallowed the panic")
+			}
+			pe, ok := v.(*PanicError)
+			if !ok {
+				t.Fatalf("recovered %T, want *PanicError", v)
+			}
+			if pe.Value != "job panic" {
+				t.Errorf("value = %v", pe.Value)
+			}
+		}()
+		Do(64, 4, func(i int) {
+			if i == 0 {
+				panic("job panic")
+			}
+		})
+	}()
+	// The pool must still work after a contained panic.
+	var sum atomic.Int64
+	Do(100, 4, func(i int) { sum.Add(int64(i)) })
+	if sum.Load() != 99*100/2 {
+		t.Errorf("pool broken after contained panic: sum = %d", sum.Load())
+	}
+}
+
+func TestDoSerialPanicTyped(t *testing.T) {
+	defer func() {
+		pe, ok := recover().(*PanicError)
+		if !ok || pe.Worker != -1 {
+			t.Errorf("serial panic not converted: %v", pe)
+		}
+	}()
+	Do(3, 1, func(int) { panic("serial") })
+}

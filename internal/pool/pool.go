@@ -13,6 +13,13 @@
 // regions from independent callers interleave safely: pool workers never
 // block on the pool themselves.
 //
+// Robustness: every job runs behind a recover barrier. A panic inside fn
+// never crashes a pool worker goroutine (which would kill the process);
+// it is converted into a typed *PanicError — returned by DoCtx, re-raised
+// on the caller by Do — and the region stops handing out further indices.
+// DoCtx additionally observes a context: once the context is done, no new
+// index is issued and the region unwinds with ctx.Err().
+//
 // Observability: SetObservability attaches a span recorder (one span per
 // helper/caller participation in a region, on the helper's stable worker
 // id; callers share lane Size()) and a metrics registry (region count,
@@ -21,7 +28,10 @@
 package pool
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -38,21 +48,42 @@ var (
 	mRegions   atomic.Pointer[metrics.Counter]
 	mDrops     atomic.Pointer[metrics.Counter]
 	mSerialCnt atomic.Pointer[metrics.Counter]
+	mCancelled atomic.Pointer[metrics.Counter]
+	mPanicsCnt atomic.Pointer[metrics.Counter]
 )
+
+// PanicError is a panic recovered from a region job by the pool's recover
+// barrier, mirroring cluster.RankPanicError: the worker lane that ran the
+// job (Size() for the region caller, -1 for a serial region), the
+// recovered value and the stack at the panic site. DoCtx returns it; Do
+// re-panics with it on the caller so a library panic can never take down
+// an unrelated pool worker goroutine.
+type PanicError struct {
+	Worker int
+	Value  any
+	Stack  string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: job panicked on worker %d: %v", e.Worker, e.Value)
+}
 
 // SetObservability attaches a span recorder and a metrics registry to the
 // pool. Either may be nil to disable that side; calling with (nil, nil)
 // detaches everything. Counters registered: pool.regions (parallel
 // regions entered), pool.serial_regions (regions degraded to the serial
 // caller-only path), pool.queue_full_drops (regions that dropped their
-// remaining helper slots because the submit queue was full). Safe to call
-// at any time; producers observe
-// the new sinks on their next region.
+// remaining helper slots because the submit queue was full),
+// pool.cancelled_regions (regions cut short by context cancellation),
+// pool.contained_panics (job panics converted to PanicError). Safe to
+// call at any time; producers observe the new sinks on their next region.
 func SetObservability(rec *trace.Recorder, reg *metrics.Registry) {
 	obsTrace.Store(rec)
 	mRegions.Store(reg.Counter("pool.regions"))
 	mSerialCnt.Store(reg.Counter("pool.serial_regions"))
 	mDrops.Store(reg.Counter("pool.queue_full_drops"))
+	mCancelled.Store(reg.Counter("pool.cancelled_regions"))
+	mPanicsCnt.Store(reg.Counter("pool.contained_panics"))
 }
 
 // ensure starts the long-lived workers exactly once.
@@ -85,9 +116,84 @@ func Size() int {
 // possible when many independent regions are in flight — the remaining
 // helper slots are dropped rather than blocked on: the caller still
 // drains the whole index space itself, so progress is guaranteed.
+//
+// A panic inside fn is contained by the recover barrier and re-raised
+// here, on the caller, as a *PanicError; pool worker goroutines survive.
 func Do(n, workers int, fn func(i int)) {
+	if err := run(nil, n, workers, fn); err != nil {
+		panic(err)
+	}
+}
+
+// DoCtx is Do under a context: the region stops handing out work-stealing
+// indices once ctx is done and returns ctx.Err() (already-running jobs
+// finish; indices are never abandoned half-executed). A job panic is
+// contained and returned as a *PanicError instead of crashing the
+// process. DoCtx returns nil exactly when fn ran to completion for every
+// index in [0,n).
+func DoCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if err := ctx.Err(); err != nil {
+		mCancelled.Load().Inc()
+		return err
+	}
+	return run(ctx, n, workers, fn)
+}
+
+// region is the shared state of one parallel Do/DoCtx invocation.
+type region struct {
+	n    int64
+	fn   func(i int)
+	next atomic.Int64 // work-stealing index counter
+	done atomic.Int64 // indices that completed normally
+	stop atomic.Bool  // no further indices: panic or cancellation
+
+	mu   sync.Mutex
+	perr *PanicError
+}
+
+// protect runs fn(i) behind the recover barrier. A nil return means the
+// job completed; non-nil carries the contained panic. It allocates only
+// on the panic path.
+func protect(fn func(i int), worker, i int) (pe *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe = &PanicError{Worker: worker, Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	fn(i)
+	return nil
+}
+
+// panicked records the first contained panic and stops the region.
+func (r *region) panicked(pe *PanicError) {
+	r.stop.Store(true)
+	mPanicsCnt.Load().Inc()
+	r.mu.Lock()
+	if r.perr == nil {
+		r.perr = pe
+	}
+	r.mu.Unlock()
+}
+
+// loop drains indices until the space is exhausted or the region stopped.
+func (r *region) loop(worker int) {
+	for !r.stop.Load() {
+		i := r.next.Add(1) - 1
+		if i >= r.n {
+			return
+		}
+		if pe := protect(r.fn, worker, int(i)); pe != nil {
+			r.panicked(pe)
+			return
+		}
+		r.done.Add(1)
+	}
+}
+
+// run is the shared driver behind Do (ctx == nil) and DoCtx.
+func run(ctx context.Context, n, workers int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers > n {
 		workers = n
@@ -95,22 +201,26 @@ func Do(n, workers int, fn func(i int)) {
 	if workers <= 1 || n == 1 {
 		mSerialCnt.Load().Inc()
 		for i := 0; i < n; i++ {
-			fn(i)
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					mCancelled.Load().Inc()
+					return err
+				}
+			}
+			if pe := protect(fn, -1, i); pe != nil {
+				mPanicsCnt.Load().Inc()
+				return pe
+			}
 		}
-		return
+		return nil
 	}
 	ensure()
 	mRegions.Load().Inc()
 	rec := obsTrace.Load()
-	var next atomic.Int64
-	loop := func() {
-		for {
-			i := next.Add(1) - 1
-			if i >= int64(n) {
-				return
-			}
-			fn(int(i))
-		}
+	r := &region{n: int64(n), fn: fn}
+	if ctx != nil {
+		unwatch := context.AfterFunc(ctx, func() { r.stop.Store(true) })
+		defer unwatch()
 	}
 	var wg sync.WaitGroup
 	for h := 0; h < workers-1; h++ {
@@ -119,11 +229,11 @@ func Do(n, workers int, fn func(i int)) {
 			defer wg.Done()
 			if rec != nil {
 				t0 := rec.Start()
-				loop()
+				r.loop(worker)
 				rec.Since(worker, "pool.Do", -1, t0)
 				return
 			}
-			loop()
+			r.loop(worker)
 		}
 		select {
 		case submit <- task:
@@ -137,10 +247,28 @@ func Do(n, workers int, fn func(i int)) {
 	if rec != nil {
 		// The caller's own participation, on the shared caller lane.
 		t0 := rec.Start()
-		loop()
+		r.loop(nproc)
 		rec.Since(nproc, "pool.Do", -1, t0)
 	} else {
-		loop()
+		r.loop(nproc)
 	}
 	wg.Wait()
+
+	r.mu.Lock()
+	perr := r.perr
+	r.mu.Unlock()
+	if perr != nil {
+		return perr
+	}
+	if r.done.Load() == r.n {
+		return nil
+	}
+	// Cut short without a panic: only cancellation can have stopped us.
+	mCancelled.Load().Inc()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return context.Canceled
 }
