@@ -40,9 +40,10 @@ bench:
 	$(GO) test ./internal/blas -bench 'Dgemm|RankK' -benchmem -run xxx
 
 # benchjson: the machine-readable benchmark record — DgemmPacked vs
-# DgemmParallel at several sizes plus the dynamic-DAG LU, written to
-# BENCH_<yyyymmdd>.json (GFLOPS, ns/op, allocs/op). Diff two files to see
-# a regression as a number.
+# DgemmParallel at several sizes, the dynamic-DAG LU, and the real 2D
+# distributed HPL at n=768 / NB=32 / 4x4 under each look-ahead schedule
+# (none, basic, pipelined) — written to BENCH_<yyyymmdd>.json (GFLOPS,
+# ns/op, allocs/op). Diff two files to see a regression as a number.
 benchjson:
 	$(GO) run ./cmd/benchjson
 

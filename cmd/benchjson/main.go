@@ -1,14 +1,18 @@
 // Command benchjson runs the repository's headline benchmarks — the
-// packed-tile DGEMM fast path against the row-split reference, plus the
-// dynamic DAG LU driver — and writes a machine-readable BENCH_<date>.json
+// packed-tile DGEMM fast path against the row-split reference, the
+// dynamic DAG LU driver, and the real 2D distributed HPL under each
+// look-ahead schedule — and writes a machine-readable BENCH_<date>.json
 // (GFLOPS, ns/op, bytes/op, allocs/op per case). It seeds the repo's
 // performance trajectory: CI runs it at smoke sizes and archives the JSON
 // artifact, so regressions show up as a diffable number, not a feeling.
 //
+// The 2D HPL rows time the HPL phase only (factorization through
+// back-substitution) and report each mode's best of -hpliters runs.
+//
 // Usage:
 //
 //	benchjson                        # default sizes, BENCH_<yyyymmdd>.json
-//	benchjson -sizes 96,128 -lun 128 -o BENCH_ci.json
+//	benchjson -sizes 96,128 -lun 128 -hpln 192 -hplgrid 2x2 -o BENCH_ci.json
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"testing"
 	"time"
 
+	"phihpl"
 	"phihpl/internal/blas"
 	"phihpl/internal/lu"
 	"phihpl/internal/matrix"
@@ -32,6 +37,9 @@ import (
 type caseResult struct {
 	Name        string  `json:"name"`
 	N           int     `json:"n"`
+	NB          int     `json:"nb,omitempty"`
+	P           int     `json:"p,omitempty"`
+	Q           int     `json:"q,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
@@ -52,7 +60,11 @@ func main() {
 		sizes   = flag.String("sizes", "128,256,512", "comma-separated square DGEMM sizes")
 		lun     = flag.Int("lun", 512, "LU problem size for the dynamic-DAG case (0 skips)")
 		workers = flag.Int("workers", 4, "worker count for the parallel paths")
-		out     = flag.String("o", "", "output path (default BENCH_<yyyymmdd>.json)")
+		hpln     = flag.Int("hpln", 768, "2D distributed HPL problem size, run once per look-ahead mode (0 skips)")
+		hplnb    = flag.Int("hplnb", 16, "2D distributed HPL block size")
+		hplgrid  = flag.String("hplgrid", "2x2,4x4", "2D distributed HPL process grids, comma-separated PxQ")
+		hpliters = flag.Int("hpliters", 8, "2D distributed HPL iterations per (grid, mode); best timed phase is reported")
+		out      = flag.String("o", "", "output path (default BENCH_<yyyymmdd>.json)")
 	)
 	flag.Parse()
 
@@ -82,6 +94,22 @@ func main() {
 
 	if *lun > 0 {
 		file.Results = append(file.Results, luCase(*lun, *workers))
+	}
+
+	if *hpln > 0 {
+		for _, gs := range strings.Split(*hplgrid, ",") {
+			p, q, err := parseGrid(gs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(2)
+			}
+			cs, err := hplCases(*hpln, *hplnb, p, q, *hpliters)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			file.Results = append(file.Results, cs...)
+		}
 	}
 
 	b, err := json.MarshalIndent(file, "", "  ")
@@ -136,6 +164,71 @@ func luCase(n, workers int) caseResult {
 		}
 	})
 	return toCase("LuDynamic", n, perfmodel.LUFlops(n), r)
+}
+
+// parseGrid parses "PxQ" into its two factors.
+func parseGrid(s string) (p, q int, err error) {
+	parts := strings.SplitN(strings.ToLower(strings.TrimSpace(s)), "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad grid %q (want PxQ)", s)
+	}
+	p, err1 := strconv.Atoi(parts[0])
+	q, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || p < 1 || q < 1 {
+		return 0, 0, fmt.Errorf("bad grid %q (want PxQ)", s)
+	}
+	return p, q, nil
+}
+
+// hplCases benchmarks the real 2D distributed solver at order n on a P×Q
+// grid, once per look-ahead schedule — the driver-level numbers the
+// schedule work is accountable to. It times the HPL phase only
+// (SolveResult.Seconds: factorization through back-substitution, behind
+// a barrier), interleaves the modes across iterations so machine noise
+// hits all three alike, and reports each mode's best iteration. The
+// residual check runs on every iteration; a failing solve aborts the
+// record rather than reporting a fast-but-wrong GFLOPS.
+func hplCases(n, nb, p, q, iters int) ([]caseResult, error) {
+	modes := []phihpl.LookaheadMode{
+		phihpl.LookaheadNone, phihpl.LookaheadBasic, phihpl.LookaheadPipelined,
+	}
+	best := make([]float64, len(modes))
+	run := func(m phihpl.LookaheadMode) (float64, error) {
+		res, err := phihpl.SolveDistributed2DMode(n, nb, p, q, 0x5eed, m)
+		if err != nil {
+			return 0, err
+		}
+		if !res.Passed {
+			return 0, fmt.Errorf("hpl2d %s: residual %g failed", m, res.Residual)
+		}
+		return res.Seconds, nil
+	}
+	for _, m := range modes {
+		if _, err := run(m); err != nil { // warmup (pools, page faults)
+			return nil, err
+		}
+	}
+	for i := 0; i < iters; i++ {
+		for mi, m := range modes {
+			s, err := run(m)
+			if err != nil {
+				return nil, err
+			}
+			if best[mi] == 0 || s < best[mi] {
+				best[mi] = s
+			}
+		}
+	}
+	flops := perfmodel.LUFlops(n)
+	out := make([]caseResult, 0, len(modes))
+	for mi, m := range modes {
+		ns := best[mi] * 1e9
+		out = append(out, caseResult{
+			Name: "Hpl2D-" + m.String(), N: n, NB: nb, P: p, Q: q,
+			NsPerOp: ns, GFLOPS: flops / ns,
+		})
+	}
+	return out, nil
 }
 
 // toCase converts a testing.BenchmarkResult into the output row.

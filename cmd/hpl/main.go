@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	hpl -real -n 2000 -nb 64 -ranks 4          # real distributed solve
+//	hpl -real -n 2000 -nb 64 -ranks 4          # real distributed solve (1D)
+//	hpl -real -n 768 -nb 32 -p 4 -q 4 -lookahead pipelined -trace out.json -gantt
+//	                                           # real 2D solve, pipeline Gantt
 //	hpl -native -n 1024 -workers 4 -trace out.json -metrics
 //	                                           # real DAG solve, Chrome trace + metrics
 //	hpl -n 960 -nb 64 -p 2 -q 2 -faults 'seed=7;drop=0.02;crash=3@2'
@@ -95,7 +97,8 @@ func main() {
 		workers = flag.Int("workers", 4, "thread groups for -native")
 		cards   = flag.Int("cards", 1, "coprocessor cards per node (0 = CPU only)")
 		mem     = flag.Int("mem", 64, "host memory per node (GiB)")
-		mode    = flag.String("mode", "pipelined", "look-ahead: none | basic | pipelined")
+		mode    = flag.String("mode", "pipelined", "look-ahead for the hybrid projection: none | basic | pipelined")
+		lookStr = flag.String("lookahead", "pipelined", "stage schedule for real 2D solves (-real with -p/-q, -dat, -ft): none | basic | pipelined")
 		seed    = flag.Uint64("seed", 1, "matrix seed for -real/-native")
 
 		traceOut = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file")
@@ -124,6 +127,12 @@ func main() {
 	defer cancel()
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	lookahead, err := phihpl.ParseLookaheadMode(*lookStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(exitFailed)
+	}
 
 	var rec *trace.Recorder
 	if *traceOut != "" {
@@ -180,7 +189,7 @@ func main() {
 	}
 
 	if *faults != "" || *ft {
-		runFaultTolerant(ctx, *n, *nb, *p, *q, *seed, *faults, *ftTime, *ckEvery, *restarts, rec)
+		runFaultTolerant(ctx, *n, *nb, *p, *q, *seed, *faults, *ftTime, *ckEvery, *restarts, lookahead, rec)
 		finishObservability(rec, *traceOut, *gantt, reg)
 		return
 	}
@@ -201,7 +210,7 @@ func main() {
 		// Combinations up to N=2000 run the real distributed solver. On
 		// cancellation RunDatCtx has already written the partial report
 		// with the unfinished combinations marked ABORTED.
-		if err := phihpl.RunDatCtx(ctx, r, os.Stdout, 2000); err != nil {
+		if err := phihpl.RunDatModeCtx(ctx, r, os.Stdout, 2000, lookahead); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			finishObservability(rec, *traceOut, *gantt, reg)
 			os.Exit(exitCode(err))
@@ -211,23 +220,41 @@ func main() {
 	}
 
 	if *real {
+		bs := *nb
+		if bs == 0 {
+			bs = 64
+		}
 		start := time.Now()
-		res, err := phihpl.SolveDistributedCtx(ctx, *n, *nb, *ranks, *seed)
+		var res phihpl.SolveResult
+		var err error
+		if *p**q > 1 {
+			// A real P×Q grid: the full 2D driver under the selected
+			// look-ahead schedule, with per-stage pipeline spans on rec.
+			res, err = phihpl.SolveDistributed2DModeCtx(ctx, *n, bs, *p, *q, *seed, lookahead, rec)
+		} else {
+			res, err = phihpl.SolveDistributedCtx(ctx, *n, bs, *ranks, *seed)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			if code := exitCode(err); code == exitAborted {
-				writeAbortedReport(*n, *nb, 1, *ranks, time.Since(start).Seconds())
+				writeAbortedReport(*n, bs, *p, maxInt(*q, *ranks), time.Since(start).Seconds())
 				finishObservability(rec, *traceOut, *gantt, reg)
 				os.Exit(code)
 			} else {
 				os.Exit(code)
 			}
 		}
+		elapsed := time.Since(start).Seconds()
 		status := "PASSED"
 		if !res.Passed {
 			status = "FAILED"
 		}
-		fmt.Printf("N=%d ranks=%d\n", *n, *ranks)
+		if *p**q > 1 {
+			fmt.Printf("N=%d NB=%d grid=%dx%d lookahead=%s %.3fs %.2f GFLOPS\n",
+				*n, bs, *p, *q, lookahead, elapsed, phihpl.LUFlops(*n)/elapsed/1e9)
+		} else {
+			fmt.Printf("N=%d ranks=%d\n", *n, *ranks)
+		}
 		fmt.Printf("||Ax-b||_oo/(eps*(||A||_oo*||x||_oo+||b||_oo)*N) = %10.7f ...... %s\n",
 			res.Residual, status)
 		finishObservability(rec, *traceOut, *gantt, reg)
@@ -297,11 +324,11 @@ func finishObservability(rec *trace.Recorder, tracePath string, gantt bool, reg 
 // unrecoverable run exits non-zero with the structured fault report
 // instead of hanging or printing a bogus residual; a cancelled run writes
 // the partial ABORTED report and exits with the aborted code.
-func runFaultTolerant(ctx context.Context, n, nb, p, q int, seed uint64, spec string, timeout time.Duration, ckptEvery, maxRestarts int, rec *trace.Recorder) {
+func runFaultTolerant(ctx context.Context, n, nb, p, q int, seed uint64, spec string, timeout time.Duration, ckptEvery, maxRestarts int, lookahead phihpl.LookaheadMode, rec *trace.Recorder) {
 	if nb == 0 {
 		nb = 64
 	}
-	cfg := phihpl.FTConfig{Timeout: timeout, CheckpointEvery: ckptEvery, MaxRestarts: maxRestarts, Trace: rec}
+	cfg := phihpl.FTConfig{Timeout: timeout, CheckpointEvery: ckptEvery, MaxRestarts: maxRestarts, Lookahead: lookahead, Trace: rec}
 	if spec != "" {
 		plan, err := phihpl.ParseFaultPlan(spec)
 		if err != nil {

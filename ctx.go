@@ -70,11 +70,34 @@ func SolveDistributed2DCtx(ctx context.Context, n, nb, p, q int, seed uint64) (S
 	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n}, nil
 }
 
+// SolveDistributed2DModeCtx is SolveDistributed2DMode under a context,
+// optionally recording one protocol span per stage phase (panel, swap,
+// Lbcast, Ubcast, GEMM) into rec — the real-execution counterpart of the
+// paper's Figure 8/9 pipeline Gantt charts. A nil recorder disables
+// tracing.
+func SolveDistributed2DModeCtx(ctx context.Context, n, nb, p, q int, seed uint64, mode LookaheadMode, rec *trace.Recorder) (SolveResult, error) {
+	r, err := hpl.SolveDistributed2DModeCtx(ctx, n, nb, p, q, seed, mode, rec)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n}, nil
+}
+
 // SolveHybrid2DCtx is SolveHybrid2D under a context: cancellation reaches
 // both the rank stage boundaries and the offload engine's tile loop, so a
 // rank parked in a long trailing update also unwinds promptly.
 func SolveHybrid2DCtx(ctx context.Context, n, nb, p, q int, seed uint64) (SolveResult, error) {
 	r, err := hpl.SolveDistributed2DHybridCtx(ctx, n, nb, p, q, seed)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n}, nil
+}
+
+// SolveHybrid2DModeCtx is SolveHybrid2DMode under a context, optionally
+// recording protocol spans into rec (see SolveDistributed2DModeCtx).
+func SolveHybrid2DModeCtx(ctx context.Context, n, nb, p, q int, seed uint64, mode LookaheadMode, rec *trace.Recorder) (SolveResult, error) {
+	r, err := hpl.SolveDistributed2DHybridModeCtx(ctx, n, nb, p, q, seed, mode, rec)
 	if err != nil {
 		return SolveResult{}, err
 	}

@@ -26,6 +26,13 @@ func RunDat(r io.Reader, w io.Writer, realBelow int) error {
 // partial report is still written to w, and ctx.Err() is returned — so a
 // timed-out benchmark run always leaves a truthful record of how far it got.
 func RunDatCtx(ctx context.Context, r io.Reader, w io.Writer, realBelow int) error {
+	return RunDatModeCtx(ctx, r, w, realBelow, LookaheadPipelined)
+}
+
+// RunDatModeCtx is RunDatCtx with an explicit look-ahead schedule for the
+// real combinations; the mode is echoed in the report header. (The
+// virtual-time combinations keep their own per-combination DEPTH column.)
+func RunDatModeCtx(ctx context.Context, r io.Reader, w io.Writer, realBelow int, mode LookaheadMode) error {
 	params, err := hplio.Parse(r)
 	if err != nil {
 		return err
@@ -46,7 +53,7 @@ func RunDatCtx(ctx context.Context, r io.Reader, w io.Writer, realBelow int) err
 			continue
 		}
 		if c.N <= realBelow {
-			dr, err := hpl.SolveDistributed2DCtx(ctx, c.N, c.NB, c.P, c.Q, 0x5eed)
+			dr, err := hpl.SolveDistributed2DModeCtx(ctx, c.N, c.NB, c.P, c.Q, 0x5eed, mode, nil)
 			if err != nil {
 				if ctx.Err() != nil {
 					res.Aborted = true
@@ -70,7 +77,7 @@ func RunDatCtx(ctx context.Context, r io.Reader, w io.Writer, realBelow int) err
 		results = append(results, res)
 	}
 	hplio.SortResults(results)
-	hplio.WriteReport(w, results)
+	hplio.WriteReportHeader(w, "look-ahead (real combinations): "+mode.String(), results)
 	return ctx.Err()
 }
 

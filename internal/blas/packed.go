@@ -132,6 +132,123 @@ func DgemmPacked(transA, transB bool, alpha float64, a, b *matrix.Dense, beta fl
 	}
 }
 
+// --- prepacked operands ------------------------------------------------
+//
+// HPL's trailing update multiplies one L panel against every U block of
+// a block row, and one U block against every L panel of a block column:
+// per-call packing re-packs each operand O(blocks) times. Prepacking
+// packs an operand once and reuses the tiles across calls. Because a C
+// element's value depends only on its packed A row, packed B column and
+// the K-block boundaries (see the contract above), GemmPrepacked is
+// bitwise identical to the DgemmPacked call it replaces.
+
+// prepackSlabs recycles the packed-operand backing arrays so steady-state
+// prepacking allocates nothing: Release returns a slab once the packed
+// operand is no longer referenced. Contents are stale on reuse; the
+// packers overwrite every element including padding.
+var prepackSlabs = sync.Pool{New: func() any { return new([]float64) }}
+
+func prepackTake(n int) *[]float64 {
+	s := prepackSlabs.Get().(*[]float64)
+	if cap(*s) < n {
+		*s = make([]float64, n)
+	}
+	*s = (*s)[:n]
+	return s
+}
+
+// PrepackedA is alpha·A packed once into the tile layout (one K-block).
+type PrepackedA struct {
+	pa   *pack.A
+	m, k int
+	slab *[]float64
+}
+
+// Release recycles the packed buffer. Optional (an unreleased operand is
+// ordinary garbage); call it only once no GemmPrepacked will read the
+// operand again.
+func (a *PrepackedA) Release() {
+	if a != nil && a.slab != nil {
+		prepackSlabs.Put(a.slab)
+		a.slab, a.pa = nil, nil
+	}
+}
+
+// PrepackA packs alpha·a (no transpose). Returns nil when a spans more
+// than one K-block (k > packKC) — callers fall back to DgemmPacked,
+// which blocks over k itself.
+func PrepackA(a *matrix.Dense, alpha float64) *PrepackedA {
+	m, k := a.Rows, a.Cols
+	if k > packKC {
+		return nil
+	}
+	aTiles := (m + pack.DefaultTileM - 1) / pack.DefaultTileM
+	slab := prepackTake(aTiles * pack.DefaultTileM * k)
+	pa := &pack.A{M: m, K: k, TileM: pack.DefaultTileM, Data: *slab}
+	for t := 0; t < aTiles; t++ {
+		pack.PackATileOp(pa, a, false, alpha, 0, t)
+	}
+	mBytesPacked.Load().Add(8 * int64(len(pa.Data)))
+	return &PrepackedA{pa: pa, m: m, k: k, slab: slab}
+}
+
+// PrepackedB is B packed once into the tile layout (one K-block).
+type PrepackedB struct {
+	pb   *pack.B
+	k, n int
+	slab *[]float64
+}
+
+// Release recycles the packed buffer; see (*PrepackedA).Release.
+func (b *PrepackedB) Release() {
+	if b != nil && b.slab != nil {
+		prepackSlabs.Put(b.slab)
+		b.slab, b.pb = nil, nil
+	}
+}
+
+// PrepackB packs b (no transpose). Returns nil when b spans more than
+// one K-block (k > packKC).
+func PrepackB(b *matrix.Dense) *PrepackedB {
+	k, n := b.Rows, b.Cols
+	if k > packKC {
+		return nil
+	}
+	bTiles := (n + pack.TileN - 1) / pack.TileN
+	slab := prepackTake(bTiles * k * pack.TileN)
+	pb := &pack.B{K: k, N: n, Data: *slab}
+	for t := 0; t < bTiles; t++ {
+		pack.PackBTileOp(pb, b, false, 0, t)
+	}
+	mBytesPacked.Load().Add(8 * int64(len(pb.Data)))
+	return &PrepackedB{pb: pb, k: k, n: n, slab: slab}
+}
+
+// GemmPrepacked computes C += (alpha·A)·B from prepacked operands (the
+// alpha was folded into the A tiles at pack time; beta is fixed at 1).
+// The tile grid and micro-kernel invocations are exactly DgemmPacked's
+// single-K-block schedule, so the result is bitwise identical to
+// DgemmPacked(false, false, alpha, a, b, 1, c, workers).
+func GemmPrepacked(a *PrepackedA, b *PrepackedB, c *matrix.Dense, workers int) {
+	if a.k != b.k || c.Rows != a.m || c.Cols != b.n {
+		panic("blas: GemmPrepacked dimension mismatch")
+	}
+	if a.m == 0 || b.n == 0 || a.k == 0 {
+		return
+	}
+	mPackedCalls.Load().Inc()
+	mPackedFlops.Load().Add(2 * int64(a.m) * int64(b.n) * int64(a.k))
+	aTiles, bTiles := a.pa.Tiles(), b.pb.Tiles()
+	pa, pb := a.pa, b.pb
+	pool.Do(aTiles*bTiles, workers, func(j int) {
+		ta, tb := j/bTiles, j%bTiles
+		rows := pa.TileRows(ta)
+		cols := pb.TileCols(tb)
+		off := ta*pack.DefaultTileM*c.Stride + tb*pack.TileN
+		pack.MicroKernel(pa.Tile(ta), pa.TileM, a.k, pb.Tile(tb), c.Data[off:], c.Stride, rows, cols)
+	})
+}
+
 // scaleRows applies C *= beta row-wise (beta==0 stores exact zeros,
 // clearing any NaN/Inf previously in C, matching dgemmRows).
 func scaleRows(c *matrix.Dense, beta float64, workers int) {

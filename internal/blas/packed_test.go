@@ -292,3 +292,69 @@ func TestDgemmPackedDimensionPanics(t *testing.T) {
 	}()
 	DgemmPacked(false, false, 1, a, b, 0, c, 2)
 }
+
+// GemmPrepacked's pack-once-reuse must be bitwise the per-call
+// DgemmPacked result — the contract that lets the 2D HPL driver share
+// packed operands across a block row/column — for every shape in the
+// single-K-block regime, including ragged tiles, and independent of how
+// many calls reuse the same prepacked operand.
+func TestGemmPrepackedBitwiseMatchesDgemmPacked(t *testing.T) {
+	for _, sh := range []struct{ m, n, k int }{
+		{30, 8, 16},  // exactly one tile
+		{64, 40, 32}, // several tiles
+		{31, 9, 17},  // ragged everything
+		{1, 1, 16},
+		{95, 23, 384}, // k at the K-block boundary
+	} {
+		a := matrix.RandomGeneral(sh.m, sh.k, 11)
+		b := matrix.RandomGeneral(sh.k, sh.n, 12)
+		want := matrix.RandomGeneral(sh.m, sh.n, 13)
+		got := want.Clone()
+
+		DgemmPacked(false, false, -1, a, b, 1, want, 2)
+
+		pa := PrepackA(a, -1)
+		pb := PrepackB(b)
+		if pa == nil || pb == nil {
+			t.Fatalf("%+v: prepack refused a single-K-block shape", sh)
+		}
+		// Reuse both operands twice: second use must still be bitwise.
+		scratch := matrix.NewDense(sh.m, sh.n)
+		GemmPrepacked(pa, pb, scratch, 1)
+		GemmPrepacked(pa, pb, got, 2)
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				if got.At(i, j) != want.At(i, j) {
+					t.Fatalf("%+v: (%d,%d) = %v, want %v (bitwise)", sh, i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+		pa.Release()
+		pb.Release()
+	}
+}
+
+// Prepacking refuses multi-K-block operands (the caller falls back to
+// DgemmPacked, which blocks over k itself), mismatched shapes panic, and
+// Release is safe on nil and after use.
+func TestGemmPrepackedGuards(t *testing.T) {
+	if pa := PrepackA(matrix.RandomGeneral(8, 385, 1), -1); pa != nil {
+		t.Error("PrepackA must refuse k > one K-block")
+	}
+	if pb := PrepackB(matrix.RandomGeneral(385, 8, 1)); pb != nil {
+		t.Error("PrepackB must refuse k > one K-block")
+	}
+	var nilA *PrepackedA
+	var nilB *PrepackedB
+	nilA.Release()
+	nilB.Release()
+
+	pa := PrepackA(matrix.RandomGeneral(8, 16, 1), -1)
+	pb := PrepackB(matrix.RandomGeneral(17, 8, 1)) // k mismatch
+	defer func() {
+		if recover() == nil {
+			t.Error("k mismatch must panic")
+		}
+	}()
+	GemmPrepacked(pa, pb, matrix.NewDense(8, 8), 1)
+}

@@ -105,6 +105,11 @@ type Options struct {
 	Watchdog time.Duration
 	// Logf receives watchdog dumps (default: standard error).
 	Logf func(format string, args ...any)
+	// FlatBcast reverts Comm.Bcast to the legacy root-sequential fan-out
+	// (O(P) root sends) instead of the binomial tree — kept for A/B
+	// comparison and for callers that need the root to be the direct
+	// sender on every link.
+	FlatBcast bool
 }
 
 // World is a communicator for `size` ranks.
@@ -113,9 +118,9 @@ type World struct {
 	opt   Options
 	lossy bool // chaos transport active (Injector != nil)
 
-	data [][]chan packet // data[src][dst]
+	data [][]chan *packet // data[src][dst]
 	acks [][]chan uint64 // cumulative acks for link src→dst (lossy mode)
-	out  [][]chan packet // sender-side outbox per link (lossy mode)
+	out  [][]chan *packet // sender-side outbox per link (lossy mode)
 
 	// Per-link sequence counters. sendSeq[s][d] is touched only by rank
 	// s's goroutine, recvSeq[s][d] only by rank d's — single-writer by
@@ -145,6 +150,7 @@ type rankProgress struct {
 	recvTag  atomic.Int64
 	recvPeer atomic.Int64
 	ops      atomic.Uint64
+	sends    atomic.Uint64
 	state    atomic.Int32 // 0 running, 1 done, 2 failed
 }
 
@@ -187,26 +193,26 @@ func NewWorldOpts(size int, opt Options) *World {
 		abort: make(chan struct{}),
 		stop:  make(chan struct{}),
 	}
-	w.data = make([][]chan packet, size)
+	w.data = make([][]chan *packet, size)
 	w.sendSeq = make([][]uint64, size)
 	w.recvSeq = make([][]uint64, size)
 	if w.lossy {
 		w.acks = make([][]chan uint64, size)
-		w.out = make([][]chan packet, size)
+		w.out = make([][]chan *packet, size)
 	}
 	for s := 0; s < size; s++ {
-		w.data[s] = make([]chan packet, size)
+		w.data[s] = make([]chan *packet, size)
 		w.sendSeq[s] = make([]uint64, size)
 		w.recvSeq[s] = make([]uint64, size)
 		if w.lossy {
 			w.acks[s] = make([]chan uint64, size)
-			w.out[s] = make([]chan packet, size)
+			w.out[s] = make([]chan *packet, size)
 		}
 		for d := 0; d < size; d++ {
-			w.data[s][d] = make(chan packet, opt.Buffer)
+			w.data[s][d] = make(chan *packet, opt.Buffer)
 			if w.lossy {
 				w.acks[s][d] = make(chan uint64, 4*opt.Buffer+64)
-				w.out[s][d] = make(chan packet, opt.Buffer)
+				w.out[s][d] = make(chan *packet, opt.Buffer)
 			}
 		}
 	}
@@ -221,6 +227,15 @@ func NewWorldOpts(size int, opt Options) *World {
 
 // Size returns the rank count.
 func (w *World) Size() int { return w.size }
+
+// SendCount reports how many point-to-point sends the given rank has
+// issued so far — the A/B observable for tree vs. flat broadcast.
+func (w *World) SendCount(rank int) uint64 {
+	if rank < 0 || rank >= w.size {
+		return 0
+	}
+	return w.prog[rank].sends.Load()
+}
 
 // Stats snapshots the recovery counters. Meaningful after Run returns.
 func (w *World) Stats() Stats {
@@ -379,21 +394,72 @@ func (c *Comm) Progress(iter int) error {
 	return nil
 }
 
+// BcastTree returns rank me's position in the binomial broadcast tree
+// rooted at root over a communicator of m ranks: the parent it receives
+// from (-1 at the root) and the children it forwards to, in send order.
+// The tree is the textbook MPI construction over rank positions relative
+// to the root: a node at relative position rel receives from
+// rel − lowestSetBit(rel) and sends to rel+mask for each mask below its
+// own lowest set bit (the root, rel 0, sends for every power of two
+// below m). Every rank appears exactly once and the root performs only
+// ceil(log2 m) sends instead of m−1.
+func BcastTree(m, root, me int) (parent int, children []int) {
+	rel := ((me-root)%m + m) % m
+	top := 1
+	for top < m {
+		top <<= 1
+	}
+	first := top // first mask to try, halved before use
+	if rel != 0 {
+		low := rel & -rel
+		parent = ((rel - low) + root) % m
+		first = low
+	} else {
+		parent = -1
+	}
+	for mask := first >> 1; mask >= 1; mask >>= 1 {
+		if child := rel + mask; child < m {
+			children = append(children, (child+root)%m)
+		}
+	}
+	return parent, children
+}
+
 // Bcast distributes root's payload to every rank and returns the received
-// (or original) message. Implemented as a root-sequential fan-out, which
-// is semantically equivalent to a tree broadcast.
+// (or original) message. By default it runs over the binomial tree from
+// BcastTree — O(log P) root sends, with interior ranks relaying the
+// payload bitwise — matching CostModel.BcastTree. Options.FlatBcast
+// restores the legacy root-sequential fan-out.
 func (c *Comm) Bcast(root, tag int, f []float64, ints []int) (Msg, error) {
-	if c.rank == root {
-		for d := 0; d < c.world.size; d++ {
-			if d != root {
-				if err := c.Send(d, tag, f, ints); err != nil {
-					return Msg{}, err
+	if c.world.opt.FlatBcast {
+		if c.rank == root {
+			for d := 0; d < c.world.size; d++ {
+				if d != root {
+					if err := c.Send(d, tag, f, ints); err != nil {
+						return Msg{}, err
+					}
 				}
 			}
+			return Msg{Src: root, Tag: tag, F: f, I: ints}, nil
 		}
-		return Msg{Src: root, Tag: tag, F: f, I: ints}, nil
+		return c.Recv(root, tag)
 	}
-	return c.Recv(root, tag)
+	parent, children := BcastTree(c.world.size, root, c.rank)
+	m := Msg{Src: root, Tag: tag, F: f, I: ints}
+	if parent >= 0 {
+		got, err := c.Recv(parent, tag)
+		if err != nil {
+			return Msg{}, err
+		}
+		got.Src = root
+		m = got
+	}
+	for _, child := range children {
+		if err := c.Send(child, tag, m.F, m.I); err != nil {
+			return Msg{}, err
+		}
+	}
+	return m, nil
 }
 
 // Barrier blocks until every rank has arrived, the world's timeout

@@ -42,6 +42,21 @@ func (m CostModel) Bcast(bytes float64, members int) float64 {
 	return rounds*m.Net.LatencySec + bytes/m.Net.BWBytes
 }
 
+// BcastTree returns the time for a binomial-tree broadcast of `bytes` to
+// `members` ranks — the store-and-forward tree Comm.Bcast runs: each of
+// the ceil(log2 members) levels forwards the whole payload, so both the
+// latency and the bandwidth term scale with the tree depth. For short
+// messages this beats the flat O(P) root fan-out (whose root serializes
+// members−1 full sends); for long messages the pipelined Bcast bound
+// above is the better model.
+func (m CostModel) BcastTree(bytes float64, members int) float64 {
+	if members <= 1 || bytes <= 0 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(members)))
+	return rounds * (m.Net.LatencySec + bytes/m.Net.BWBytes)
+}
+
 // SwapExchange returns the network part of HPL's long row swap across
 // `rows` process rows: each node exchanges its share of the swapped rows,
 // (rows-1)/rows of `bytes` crossing the wire, plus a log-depth

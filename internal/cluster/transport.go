@@ -48,16 +48,17 @@ func (c *Comm) Send(dst, tag int, f []float64, ints []int) error {
 	p.sentTag.Store(int64(tag))
 	p.sentPeer.Store(int64(dst))
 	p.ops.Add(1)
+	p.sends.Add(1)
 
-	var pkt packet
-	var ch chan packet
+	var pkt *packet
+	var ch chan *packet
 	if w.lossy {
 		seq := w.sendSeq[c.rank][dst]
 		w.sendSeq[c.rank][dst]++
-		pkt = packet{msg: m, seq: seq, sum: msgChecksum(m)}
+		pkt = &packet{msg: m, seq: seq, sum: msgChecksum(m)}
 		ch = w.out[c.rank][dst] // the link worker takes over delivery
 	} else {
-		pkt = packet{msg: m}
+		pkt = &packet{msg: m}
 		ch = w.data[c.rank][dst]
 	}
 
@@ -128,7 +129,7 @@ func (c *Comm) Recv(src, tag int) (Msg, error) {
 // nextPacket pulls one packet off the link, preferring queued data over
 // failure/abort signals so a dead peer's already-sent messages still
 // drain.
-func (c *Comm) nextPacket(src, tag int, timerC <-chan time.Time) (packet, error) {
+func (c *Comm) nextPacket(src, tag int, timerC <-chan time.Time) (*packet, error) {
 	w := c.world
 	ch := w.data[src][c.rank]
 	select {
@@ -144,18 +145,18 @@ func (c *Comm) nextPacket(src, tag int, timerC <-chan time.Time) (packet, error)
 		case pkt := <-ch:
 			return pkt, nil
 		default:
-			return packet{}, &OpError{Rank: c.rank, Op: "recv", Peer: src, Tag: tag, Err: ErrRankFailed}
+			return nil, &OpError{Rank: c.rank, Op: "recv", Peer: src, Tag: tag, Err: ErrRankFailed}
 		}
 	case <-w.abort:
 		select {
 		case pkt := <-ch:
 			return pkt, nil
 		default:
-			return packet{}, &OpError{Rank: c.rank, Op: "recv", Peer: src, Tag: tag, Err: ErrAborted}
+			return nil, &OpError{Rank: c.rank, Op: "recv", Peer: src, Tag: tag, Err: ErrAborted}
 		}
 	case <-timerC:
 		mTimeouts.Load().Inc()
-		return packet{}, &OpError{Rank: c.rank, Op: "recv", Peer: src, Tag: tag, Err: ErrTimeout}
+		return nil, &OpError{Rank: c.rank, Op: "recv", Peer: src, Tag: tag, Err: ErrTimeout}
 	}
 }
 
@@ -177,7 +178,7 @@ func (w *World) linkWorker(src, dst int) {
 	defer w.helpers.Done()
 	in := w.opt.Injector
 	for {
-		var pkt packet
+		var pkt *packet
 		select {
 		case pkt = <-w.out[src][dst]:
 		case <-w.stop:
@@ -220,7 +221,7 @@ func (w *World) linkWorker(src, dst int) {
 
 // deliver blocks the packet into the data channel; false means the world
 // stopped.
-func (w *World) deliver(src, dst int, pkt packet) bool {
+func (w *World) deliver(src, dst int, pkt *packet) bool {
 	select {
 	case w.data[src][dst] <- pkt:
 		return true
@@ -305,8 +306,8 @@ func msgChecksum(m Msg) uint64 {
 // corruptPacket returns a deep copy with one payload bit flipped (the
 // original stays intact for retransmission). The checksum is computed
 // before the flip, so the receiver rejects the copy.
-func corruptPacket(pkt packet) packet {
-	out := pkt
+func corruptPacket(pkt *packet) *packet {
+	out := *pkt
 	out.msg.F = append([]float64(nil), pkt.msg.F...)
 	out.msg.I = append([]int(nil), pkt.msg.I...)
 	switch {
@@ -319,5 +320,5 @@ func corruptPacket(pkt packet) packet {
 	default:
 		out.msg.Tag ^= 1 << 5 // no payload: scramble the header
 	}
-	return out
+	return &out
 }

@@ -31,6 +31,11 @@ type DistResult struct {
 	Residual float64
 	Ranks    int
 	Panels   int
+	// Seconds is the wall-clock of the timed phase — factorization
+	// through back-substitution, entered through a barrier — excluding
+	// matrix generation and residual verification, which is the figure
+	// HPL itself reports. Set by the 2D driver on rank 0; zero elsewhere.
+	Seconds float64
 	// FT carries the fault-tolerance counters of SolveDistributed2DFT
 	// (nil for the plain drivers).
 	FT *FTStats

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"phihpl/internal/blas"
 	"phihpl/internal/cluster"
 	"phihpl/internal/matrix"
+	"phihpl/internal/trace"
 )
 
 // SolveDistributed2D factors and solves the seeded random system on a
@@ -31,19 +33,33 @@ func SolveDistributed2D(n, nb, p, q int, seed uint64) (DistResult, error) {
 	return SolveDistributed2DCtx(context.Background(), n, nb, p, q, seed)
 }
 
+// SolveDistributed2DMode is SolveDistributed2D with an explicit
+// look-ahead schedule. All modes produce bitwise-identical factors; they
+// differ only in how much panel/broadcast latency hides behind GEMM.
+func SolveDistributed2DMode(n, nb, p, q int, seed uint64, mode LookaheadMode) (DistResult, error) {
+	return SolveDistributed2DModeCtx(context.Background(), n, nb, p, q, seed, mode, nil)
+}
+
 // SolveDistributed2DCtx is SolveDistributed2D under a context. Every rank
 // observes cancellation at its stage boundary; the first rank to return
 // ctx.Err() aborts the world, which unblocks any peers parked mid-protocol.
 // Once ctx is done the caller sees the plain ctx.Err() — never a wrapped
 // transport error from the unwinding fabric.
 func SolveDistributed2DCtx(ctx context.Context, n, nb, p, q int, seed uint64) (DistResult, error) {
-	return solve2D(ctx, n, nb, p, q, seed, false)
+	return solve2D(ctx, n, nb, p, q, seed, false, LookaheadPipelined, nil)
+}
+
+// SolveDistributed2DModeCtx is SolveDistributed2DMode under a context,
+// optionally recording per-phase protocol spans (worker = rank, plus an
+// async-GEMM lane at P·Q + rank) into rec for the look-ahead Gantt.
+func SolveDistributed2DModeCtx(ctx context.Context, n, nb, p, q int, seed uint64, mode LookaheadMode, rec *trace.Recorder) (DistResult, error) {
+	return solve2D(ctx, n, nb, p, q, seed, false, mode, rec)
 }
 
 // solve2D is the shared world-construction core of the plain and hybrid 2D
 // solvers. offloadUpdates routes trailing updates through the offload
 // work-stealing engine.
-func solve2D(ctx context.Context, n, nb, p, q int, seed uint64, offloadUpdates bool) (DistResult, error) {
+func solve2D(ctx context.Context, n, nb, p, q int, seed uint64, offloadUpdates bool, mode LookaheadMode, rec *trace.Recorder) (DistResult, error) {
 	if n < 1 || p < 1 || q < 1 {
 		return DistResult{}, errors.New("hpl: n, P and Q must be positive")
 	}
@@ -56,12 +72,14 @@ func solve2D(ctx context.Context, n, nb, p, q int, seed uint64, offloadUpdates b
 	nBlocks := (n + nb - 1) / nb
 
 	// Per-pair channel buffers must absorb a stage's worth of eagerly
-	// sent blocks.
-	world := cluster.NewWorld(p*q, nBlocks*nBlocks+16)
+	// sent blocks (L and U rows per link scale with nBlocks, swaps with
+	// nb, and eager look-ahead keeps at most two stages in flight).
+	world := cluster.NewWorld(p*q, 2*nBlocks+nb+64)
 	results := make([]DistResult, p*q)
 	errs := make([]error, p*q)
 	if err := world.Run(func(c *Comm) error {
-		g := &grid2d{c: c, ctx: ctx, P: p, Q: q, n: n, nb: nb, nBlocks: nBlocks, offloadUpdates: offloadUpdates}
+		g := &grid2d{c: c, ctx: ctx, P: p, Q: q, n: n, nb: nb, nBlocks: nBlocks,
+			offloadUpdates: offloadUpdates, mode: mode, rec: rec}
 		g.p, g.q = c.Rank()/q, c.Rank()%q
 		return g.run(seed, results, errs)
 	}); err != nil {
@@ -86,15 +104,42 @@ type grid2d struct {
 	P, Q       int
 	n, nb      int
 	nBlocks    int
+	seed       uint64 // matrix seed, kept for jump-ahead regeneration
+	mode       LookaheadMode
 	blocks     map[[2]int]*matrix.Dense // owned global blocks (I,J)
 	globalPiv  []int
 	stageL11   *matrix.Dense         // factored diagonal block of this stage
-	stageL21   map[int]*matrix.Dense // block row I -> L21 block
-	stageU12   map[int]*matrix.Dense // block col J -> U12 block
+	stageL21   []*matrix.Dense // block row I -> L21 block (cleared per stage)
+	stageU12   []*matrix.Dense // block col J -> U12 block (cleared per stage)
 	firstError error
 	// offloadUpdates routes trailing updates through the real offload
 	// work-stealing engine (SolveDistributed2DHybrid).
 	offloadUpdates bool
+
+	// Look-ahead bookkeeping (basic/pipelined schedules).
+	pivots   [][]int // eagerly factored stage -> its panel pivots
+	factored []bool  // panels factored ahead of their stage
+	lSent    []bool  // stages whose L broadcast was already posted
+	pipe     *pipeline     // asynchronous trailing-update worker (pipelined)
+	scratch  []float64     // reusable pack buffer (Send copies payloads)
+	packedL  []*blas.PrepackedA // per-stage prepacked L21 panels (look-ahead paths)
+	// Reusable pipeJob slices (inline pipeline only, where a job never
+	// outlives its enqueue call).
+	jobBlocks []*matrix.Dense
+	jobLs     []*matrix.Dense
+	jobRows   []int
+	jobPls    []*blas.PrepackedA
+	t0       time.Time     // start of the timed factor+solve phase
+
+	// hooks let the FT solver ride checksum maintenance on the schedule;
+	// aheadBlocked vetoes eager factorization (super-step boundaries).
+	hooks        stageHooks
+	aheadBlocked func(next int) bool
+
+	// rec receives per-phase protocol spans (nil records nothing):
+	// worker = rank for protocol phases, P·Q + rank for the async GEMM
+	// lane, so the Gantt shows the overlap.
+	rec *trace.Recorder
 }
 
 // tag bases; stage-dependent offsets keep each exchange unambiguous.
@@ -126,13 +171,26 @@ func (g *grid2d) blockDims(i, j int) (rows, cols int) {
 
 // scatter generates the seeded system and keeps only owned blocks.
 func (g *grid2d) scatter(seed uint64) (*matrix.Dense, []float64) {
-	full, rhs := matrix.RandomSystem(g.n, seed)
+	g.seed = seed
+	// Rank 0 materializes the full system — it checks the final residual
+	// against it. Every other rank jumps the generator straight to its
+	// own block rows (PRNG.Skip) and never allocates the rest of the
+	// matrix; the blocks are bitwise identical either way.
+	var full *matrix.Dense
+	var rhs []float64
+	if g.me() == 0 {
+		full, rhs = matrix.RandomSystem(g.n, seed)
+	}
 	g.blocks = make(map[[2]int]*matrix.Dense)
 	for i := 0; i < g.nBlocks; i++ {
 		for j := 0; j < g.nBlocks; j++ {
 			if op, oq := g.owner(i, j); op == g.p && oq == g.q {
 				r, c := g.blockDims(i, j)
-				g.blocks[[2]int{i, j}] = full.View(i*g.nb, j*g.nb, r, c).Clone()
+				if full != nil {
+					g.blocks[[2]int{i, j}] = full.View(i*g.nb, j*g.nb, r, c).Clone()
+				} else {
+					g.blocks[[2]int{i, j}] = matrix.RandomSubmatrix(g.n, seed, i*g.nb, j*g.nb, r, c)
+				}
 			}
 		}
 	}
@@ -140,29 +198,84 @@ func (g *grid2d) scatter(seed uint64) (*matrix.Dense, []float64) {
 	for i := range g.globalPiv {
 		g.globalPiv[i] = i
 	}
+	g.pivots = make([][]int, g.nBlocks)
+	g.factored = make([]bool, g.nBlocks)
+	g.lSent = make([]bool, g.nBlocks)
+	g.stageL21 = make([]*matrix.Dense, g.nBlocks)
+	g.stageU12 = make([]*matrix.Dense, g.nBlocks)
+	g.packedL = make([]*blas.PrepackedA, g.nBlocks)
 	return full, rhs
 }
 
-// stage runs one iteration of the outer factorization loop.
+// clearDense nils a reused per-stage block index in place — cheaper per
+// stage than reallocating a map.
+func clearDense(s []*matrix.Dense) {
+	for i := range s {
+		s[i] = nil
+	}
+}
+
+// stage runs one iteration of the outer factorization loop under the
+// grid's look-ahead schedule.
 func (g *grid2d) stage(k int) error {
+	switch g.mode {
+	case LookaheadBasic:
+		return g.stageBasic(k)
+	case LookaheadNone:
+		return g.stageNone(k)
+	default:
+		return g.stagePipelined(k)
+	}
+}
+
+// stageNone is the fully synchronous bulk schedule — the seed behavior,
+// message for message.
+func (g *grid2d) stageNone(k int) error {
+	ts := g.rec.Start()
 	piv, err := g.factorPanel(k)
 	if err != nil {
 		return err
 	}
+	g.tspan("panel", k, ts)
+	ts = g.rec.Start()
 	if err := g.swapRows(k, piv); err != nil {
 		return err
 	}
+	g.tspan("swap", k, ts)
+	if err := g.hookAfterSwaps(k, piv); err != nil {
+		return err
+	}
+	ts = g.rec.Start()
 	if err := g.broadcastL(k); err != nil {
 		return err
 	}
+	g.tspan("Lbcast", k, ts)
+	if err := g.hookAfterL(k); err != nil {
+		return err
+	}
+	ts = g.rec.Start()
 	if err := g.solveAndBroadcastU(k); err != nil {
 		return err
 	}
-	return g.update(k)
+	g.tspan("Ubcast", k, ts)
+	ts = g.rec.Start()
+	if err := g.update(k); err != nil {
+		return err
+	}
+	g.tspan("GEMM", k, ts)
+	return g.hookAfterUpdate(k)
 }
 
 func (g *grid2d) run(seed uint64, results []DistResult, errs []error) error {
 	full, rhs := g.scatter(seed)
+	// HPL times the solve proper: all ranks sync here so generation cost
+	// can't leak into any rank's factorization phase.
+	if err := g.c.Barrier(); err != nil {
+		return err
+	}
+	g.t0 = time.Now()
+	g.startPipe()
+	defer g.stopPipe()
 	for k := 0; k < g.nBlocks; k++ {
 		// Stage boundary: every rank observes cancellation here, before
 		// issuing any of the stage's sends, so the fabric is quiescent
@@ -369,7 +482,7 @@ func (g *grid2d) swapOne(k, j, jb, r1, r2, i1, i2, p1, p2 int) error {
 func (g *grid2d) broadcastL(k int) error {
 	rootP, rootQ := g.owner(k, k)
 	g.stageL11 = nil
-	g.stageL21 = make(map[int]*matrix.Dense)
+	clearDense(g.stageL21)
 
 	for i := k; i < g.nBlocks; i++ {
 		op := i % g.P
@@ -411,7 +524,7 @@ func (g *grid2d) broadcastL(k int) error {
 // each U block down its process column.
 func (g *grid2d) solveAndBroadcastU(k int) error {
 	rootP, _ := g.owner(k, k)
-	g.stageU12 = make(map[int]*matrix.Dense)
+	clearDense(g.stageU12)
 
 	for j := k + 1; j < g.nBlocks; j++ {
 		_, oq := g.owner(k, j)
@@ -474,45 +587,59 @@ func (g *grid2d) update(k int) error {
 // gatherAndSolve assembles the factored matrix on rank 0, solves, and
 // checks the residual.
 func (g *grid2d) gatherAndSolve(full *matrix.Dense, rhs []float64, results []DistResult, errs []error) error {
+	if err := g.drainPipe(); err != nil {
+		return err
+	}
 	me := g.rank(g.p, g.q)
 	if me != 0 {
+		// One packed message per rank: every owned block in ascending
+		// (i, j) order, plus the singularity flag — not one message per
+		// block, which is what used to force the per-link buffers to
+		// nBlocks² packets.
+		buf := g.scratch[:0]
 		for i := 0; i < g.nBlocks; i++ {
 			for j := 0; j < g.nBlocks; j++ {
 				if blk, ok := g.blocks[[2]int{i, j}]; ok {
-					if err := g.c.Send(0, tag2dFinal+i*g.nBlocks+j, flatten(blk), nil); err != nil {
-						return err
+					for r := 0; r < blk.Rows; r++ {
+						buf = append(buf, blk.Row(r)...)
 					}
 				}
 			}
 		}
-		return g.c.Send(0, tag2dFinal-1, nil, singularFlag(g.firstError))
+		g.scratch = buf[:0]
+		return g.c.Send(0, tag2dFinal, buf, singularFlag(g.firstError))
 	}
 
 	lu := matrix.NewDense(g.n, g.n)
-	for i := 0; i < g.nBlocks; i++ {
-		for j := 0; j < g.nBlocks; j++ {
-			r, c := g.blockDims(i, j)
-			dst := lu.View(i*g.nb, j*g.nb, r, c)
-			if op, oq := g.owner(i, j); op == 0 && oq == 0 {
-				dst.CopyFrom(g.blocks[[2]int{i, j}])
-			} else {
-				msg, err := g.c.Recv(g.rank(op, oq), tag2dFinal+i*g.nBlocks+j)
-				if err != nil {
-					return err
-				}
-				blk, err := unflatten(msg.F, r, c)
-				if err != nil {
-					return err
-				}
-				dst.CopyFrom(blk)
-			}
-		}
+	for ij, blk := range g.blocks {
+		r, c := g.blockDims(ij[0], ij[1])
+		lu.View(ij[0]*g.nb, ij[1]*g.nb, r, c).CopyFrom(blk)
 	}
 	firstErr := g.firstError
-	for r := 1; r < g.P*g.Q; r++ {
-		msg, err := g.c.Recv(r, tag2dFinal-1)
+	for rk := 1; rk < g.P*g.Q; rk++ {
+		msg, err := g.c.Recv(rk, tag2dFinal)
 		if err != nil {
 			return err
+		}
+		off := 0
+		for i := 0; i < g.nBlocks; i++ {
+			for j := 0; j < g.nBlocks; j++ {
+				if op, oq := g.owner(i, j); g.rank(op, oq) != rk {
+					continue
+				}
+				r, c := g.blockDims(i, j)
+				if off+r*c > len(msg.F) {
+					return fmt.Errorf("hpl: rank %d final payload truncated at block (%d,%d)", rk, i, j)
+				}
+				dst := lu.View(i*g.nb, j*g.nb, r, c)
+				for y := 0; y < r; y++ {
+					copy(dst.Row(y), msg.F[off:off+c])
+					off += c
+				}
+			}
+		}
+		if off != len(msg.F) {
+			return fmt.Errorf("hpl: rank %d final payload %d != %d", rk, len(msg.F), off)
 		}
 		if e := singularFromFlag(msg.I); e != nil && firstErr == nil {
 			firstErr = e
@@ -520,11 +647,16 @@ func (g *grid2d) gatherAndSolve(full *matrix.Dense, rhs []float64, results []Dis
 	}
 
 	x := blas.LUSolve(lu, g.globalPiv, rhs)
+	var secs float64
+	if !g.t0.IsZero() {
+		secs = time.Since(g.t0).Seconds()
+	}
 	results[0] = DistResult{
 		X:        x,
 		Residual: matrix.Residual(full, x, rhs),
 		Ranks:    g.P * g.Q,
 		Panels:   g.nBlocks,
+		Seconds:  secs,
 	}
 	errs[0] = firstErr
 	return nil

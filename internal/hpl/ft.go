@@ -42,6 +42,11 @@ type FTConfig struct {
 	// "checkpoint", iter = the outer stage) — the measured multi-rank
 	// timeline of the FT protocol. Nil records nothing.
 	Trace *trace.Recorder
+	// Lookahead selects the stage schedule (default LookaheadPipelined,
+	// the zero value). All modes are bitwise identical; look-ahead is
+	// automatically suppressed across super-step boundaries so
+	// verification and checkpoints always see an untouched next panel.
+	Lookahead LookaheadMode
 }
 
 // FTStats counts the recovery work a fault-tolerant solve performed.
@@ -172,12 +177,15 @@ func SolveDistributed2DFTCtx(ctx context.Context, n, nb, p, q int, seed uint64, 
 		prof := make([]StageProfile, 0, nBlocks)
 
 		runErr := world.Run(func(c *Comm) error {
-			g2 := &grid2d{c: c, ctx: ctx, P: p, Q: q, n: n, nb: nb, nBlocks: nBlocks}
+			g2 := &grid2d{c: c, ctx: ctx, P: p, Q: q, n: n, nb: nb, nBlocks: nBlocks,
+				mode: cfg.Lookahead, rec: cfg.Trace}
 			g2.p, g2.q = c.Rank()/q, c.Rank()%q
 			f := &ftGrid{
 				grid2d: g2, in: in, store: store, cfg: cfg,
 				cq: nBlocks % q, profile: &prof,
 			}
+			g2.hooks = f
+			g2.aheadBlocked = func(next int) bool { return next%cfg.CheckpointEvery == 0 }
 			return f.runFT(seed, results, errs)
 		})
 		ws := world.Stats()
@@ -233,10 +241,20 @@ type ftGrid struct {
 	profile *[]StageProfile
 }
 
-func (f *ftGrid) me() int { return f.rank(f.p, f.q) }
+// The ABFT checksum maintenance rides on the look-ahead schedule's
+// synchronization hooks: row swaps are mirrored on the virtual checksum
+// column once the stage's data swaps are complete, the checksum-U solve
+// follows the L panel, and the checksum GEMM follows the stage's update
+// phase (checksum blocks are disjoint from data blocks, so pipelined
+// trailing updates may still be in flight).
+func (f *ftGrid) afterSwaps(k int, piv []int) error { return f.swapChecksums(k, piv) }
+func (f *ftGrid) afterL(k int) error                { return f.chkSolveAndBcast(k) }
+func (f *ftGrid) afterUpdate(k int) error           { return f.updateChecksums(k) }
 
 func (f *ftGrid) runFT(seed uint64, results []DistResult, errs []error) error {
 	full, rhs := f.scatter(seed)
+	f.startPipe()
+	defer f.stopPipe()
 	start := 0
 	if snap, stage, ok := f.store.load(f.me()); ok {
 		// Roll back: resume from the last promoted checkpoint.
@@ -260,7 +278,7 @@ func (f *ftGrid) runFT(seed uint64, results []DistResult, errs []error) error {
 		if err := f.c.Progress(k); err != nil {
 			return err
 		}
-		if err := f.ftStage(k); err != nil {
+		if err := f.stage(k); err != nil {
 			return err
 		}
 		f.cfg.Trace.Since(f.me(), "stage", k, ts)
@@ -269,10 +287,20 @@ func (f *ftGrid) runFT(seed uint64, results []DistResult, errs []error) error {
 			// stage's updates; the next super-step verifies it while the
 			// block is still protected (checksums only cover the trailing
 			// submatrix — corruption consumed into a factored panel before
-			// a super-step is past forward recovery and rolls back).
+			// a super-step is past forward recovery and rolls back). Any
+			// pipelined updates still in flight finish first so the scrub
+			// lands on settled data.
+			if err := f.drainPipe(); err != nil {
+				return err
+			}
 			f.scrubBlock(k)
 		}
 		if (k+1)%f.cfg.CheckpointEvery == 0 && k+1 < f.nBlocks {
+			// Verification and checkpointing read the trailing blocks, so
+			// the asynchronous update queue must be empty.
+			if err := f.drainPipe(); err != nil {
+				return err
+			}
 			ts = f.cfg.Trace.Start()
 			if err := f.verify(k); err != nil {
 				return err
@@ -290,34 +318,6 @@ func (f *ftGrid) runFT(seed uint64, results []DistResult, errs []error) error {
 	return f.gatherAndSolve(full, rhs, results, errs)
 }
 
-// ftStage is one outer iteration with the checksum columns riding along
-// as an extra block column: same swaps, same TRSM, same GEMM.
-func (f *ftGrid) ftStage(k int) error {
-	piv, err := f.factorPanel(k)
-	if err != nil {
-		return err
-	}
-	if err := f.swapRows(k, piv); err != nil {
-		return err
-	}
-	if err := f.swapChecksums(k, piv); err != nil {
-		return err
-	}
-	if err := f.broadcastL(k); err != nil {
-		return err
-	}
-	if err := f.chkSolveAndBcast(k); err != nil {
-		return err
-	}
-	if err := f.solveAndBroadcastU(k); err != nil {
-		return err
-	}
-	if err := f.update(k); err != nil {
-		return err
-	}
-	return f.updateChecksums(k)
-}
-
 // initChecksums builds C1 and C2 from the (deterministically generated)
 // initial matrix — no communication needed.
 func (f *ftGrid) initChecksums(full *matrix.Dense) {
@@ -331,11 +331,20 @@ func (f *ftGrid) initChecksums(full *matrix.Dense) {
 			continue
 		}
 		r, _ := f.blockDims(i, 0)
+		// The checksum seeds span the whole block row, most of which this
+		// rank does not own; regenerate the band by stream jump when the
+		// full matrix was not materialized here (non-zero ranks).
+		band := full
+		if band == nil {
+			band = matrix.RandomSubmatrix(f.n, f.seed, i*f.nb, 0, r, f.n)
+		} else {
+			band = full.View(i*f.nb, 0, r, f.n)
+		}
 		c1 := matrix.NewDense(r, f.nb)
 		c2 := matrix.NewDense(r, f.nb)
 		for j := 0; j < f.nBlocks; j++ {
 			_, w := f.blockDims(i, j)
-			blk := full.View(i*f.nb, j*f.nb, r, w)
+			blk := band.View(0, j*f.nb, r, w)
 			wgt := float64(j + 1)
 			for rr := 0; rr < r; rr++ {
 				src := blk.Row(rr)

@@ -5,6 +5,7 @@ import (
 
 	"phihpl/internal/matrix"
 	"phihpl/internal/offload"
+	"phihpl/internal/trace"
 )
 
 // SolveDistributed2DHybrid is SolveDistributed2D with the trailing updates
@@ -22,12 +23,24 @@ func SolveDistributed2DHybrid(n, nb, p, q int, seed uint64) (DistResult, error) 
 	return SolveDistributed2DHybridCtx(context.Background(), n, nb, p, q, seed)
 }
 
+// SolveDistributed2DHybridMode is SolveDistributed2DHybrid with an
+// explicit look-ahead schedule.
+func SolveDistributed2DHybridMode(n, nb, p, q int, seed uint64, mode LookaheadMode) (DistResult, error) {
+	return SolveDistributed2DHybridModeCtx(context.Background(), n, nb, p, q, seed, mode, nil)
+}
+
 // SolveDistributed2DHybridCtx is SolveDistributed2DHybrid under a context:
 // cancellation is observed both at every rank's stage boundary and inside
 // the offload engine itself, so a rank parked in a long trailing update
 // unwinds without waiting for the stage to finish.
 func SolveDistributed2DHybridCtx(ctx context.Context, n, nb, p, q int, seed uint64) (DistResult, error) {
-	return solve2D(ctx, n, nb, p, q, seed, true)
+	return solve2D(ctx, n, nb, p, q, seed, true, LookaheadPipelined, nil)
+}
+
+// SolveDistributed2DHybridModeCtx is SolveDistributed2DHybridMode under a
+// context, optionally recording protocol spans into rec.
+func SolveDistributed2DHybridModeCtx(ctx context.Context, n, nb, p, q int, seed uint64, mode LookaheadMode, rec *trace.Recorder) (DistResult, error) {
+	return solve2D(ctx, n, nb, p, q, seed, true, mode, rec)
 }
 
 // offloadUpdate computes blk -= l·u through the work-stealing engine,

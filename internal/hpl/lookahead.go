@@ -1,0 +1,1276 @@
+package hpl
+
+// Look-ahead schedules for the real 2D distributed HPL driver — the
+// paper's none → basic → pipelined ladder (Section V, Fig. 8/9) applied
+// to the functional in-process grid:
+//
+//   - LookaheadNone executes each stage as a fully synchronous bulk
+//     sequence (factor → swap → broadcast L → broadcast U → update) —
+//     the seed behavior, kept message-for-message identical.
+//   - LookaheadBasic splits the trailing update: the next panel's block
+//     column is updated first, panel k+1 is factored immediately and its
+//     L broadcast posted, and only then does the rest of update k run —
+//     panel factorization and broadcast latency hide behind GEMM.
+//   - LookaheadPipelined decomposes the stage per block column: the row
+//     swaps, U broadcast and DTRSM of column j proceed while the GEMM of
+//     the previous column runs on an asynchronous worker, with the swaps
+//     coalesced into one packed exchange per peer per column and the L
+//     panel and panel gather/scatter batched into single messages.
+//
+// All three modes reorder work only across disjoint blocks and apply
+// row swaps as exact permutations, so the factors they produce are
+// bitwise identical to the sequential blocked algorithm (and to each
+// other). The basic and pipelined modes broadcast L and U over the
+// binomial tree of cluster.BcastTree; None keeps the seed's flat
+// fan-outs so the A/B comparison stays honest.
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"phihpl/internal/blas"
+	"phihpl/internal/cluster"
+	"phihpl/internal/matrix"
+	"phihpl/internal/pool"
+	"phihpl/internal/trace"
+)
+
+// LookaheadMode selects the stage schedule of the 2D distributed solver.
+// The zero value is LookaheadPipelined: the fastest schedule is the
+// default, and all modes produce bitwise-identical results.
+type LookaheadMode int
+
+const (
+	// LookaheadPipelined software-pipelines swap/DTRSM/U-broadcast per
+	// block column over the GEMM of the previous column (paper Fig. 9).
+	LookaheadPipelined LookaheadMode = iota
+	// LookaheadBasic factors panel k+1 and posts its broadcast before
+	// finishing trailing update k (paper Fig. 8).
+	LookaheadBasic
+	// LookaheadNone runs the fully synchronous bulk schedule.
+	LookaheadNone
+)
+
+// String returns the CLI spelling of the mode.
+func (m LookaheadMode) String() string {
+	switch m {
+	case LookaheadNone:
+		return "none"
+	case LookaheadBasic:
+		return "basic"
+	case LookaheadPipelined:
+		return "pipelined"
+	}
+	return fmt.Sprintf("LookaheadMode(%d)", int(m))
+}
+
+// ParseLookaheadMode parses the CLI spelling of a look-ahead mode.
+func ParseLookaheadMode(s string) (LookaheadMode, error) {
+	switch s {
+	case "none":
+		return LookaheadNone, nil
+	case "basic":
+		return LookaheadBasic, nil
+	case "pipelined":
+		return LookaheadPipelined, nil
+	}
+	return 0, fmt.Errorf("hpl: unknown look-ahead mode %q (want none, basic or pipelined)", s)
+}
+
+// stageHooks lets the fault-tolerant solver ride its ABFT checksum
+// maintenance on the schedule's synchronization points: after the
+// stage's row swaps are complete, after the L panel is available, and
+// after the stage's (synchronous part of the) update.
+type stageHooks interface {
+	afterSwaps(k int, piv []int) error
+	afterL(k int) error
+	afterUpdate(k int) error
+}
+
+func (g *grid2d) hookAfterSwaps(k int, piv []int) error {
+	if g.hooks == nil {
+		return nil
+	}
+	return g.hooks.afterSwaps(k, piv)
+}
+
+func (g *grid2d) hookAfterL(k int) error {
+	if g.hooks == nil {
+		return nil
+	}
+	return g.hooks.afterL(k)
+}
+
+func (g *grid2d) hookAfterUpdate(k int) error {
+	if g.hooks == nil {
+		return nil
+	}
+	return g.hooks.afterUpdate(k)
+}
+
+func (g *grid2d) me() int { return g.rank(g.p, g.q) }
+
+// tspan records one protocol-phase trace span for this rank.
+func (g *grid2d) tspan(name string, k int, ts float64) {
+	g.rec.Since(g.me(), name, k, ts)
+}
+
+// aheadOK reports whether panel `next` may be factored eagerly during
+// the current stage. The FT solver blocks look-ahead across super-step
+// boundaries so verification and checkpoints always see an untouched
+// next panel.
+func (g *grid2d) aheadOK(next int) bool {
+	if g.mode == LookaheadNone || next >= g.nBlocks {
+		return false
+	}
+	if g.aheadBlocked != nil && g.aheadBlocked(next) {
+		return false
+	}
+	return true
+}
+
+// recordPivots folds the stage's panel-relative pivots into the global
+// pivot vector.
+func (g *grid2d) recordPivots(k int, piv []int) {
+	for j, pv := range piv {
+		g.globalPiv[k*g.nb+j] = k*g.nb + pv
+	}
+}
+
+// panelSegs returns the block rows of panel k owned by this process row
+// and their total flattened length.
+func (g *grid2d) panelSegs(k int) (mine []int, total int) {
+	_, w := g.blockDims(k, k)
+	for i := k; i < g.nBlocks; i++ {
+		if i%g.P == g.p {
+			r, _ := g.blockDims(i, k)
+			mine = append(mine, i)
+			total += r * w
+		}
+	}
+	return mine, total
+}
+
+// --- batched panel factorization (basic/pipelined) ---------------------
+
+// ensureFactored makes panel k factored and returns its pivots. If the
+// panel was factored eagerly during the previous stage, only the lazy
+// pivot receive remains (the factored segments already sit in place on
+// their owners); otherwise the full synchronous batched factorization
+// runs.
+func (g *grid2d) ensureFactored(k int) ([]int, error) {
+	if !g.factored[k] {
+		return g.factorPanelBatched(k)
+	}
+	g.factored[k] = false
+	rootP, rootQ := g.owner(k, k)
+	root := g.rank(rootP, rootQ)
+	piv := g.pivots[k]
+	if piv == nil {
+		msg, err := g.c.Recv(root, tag2dPivBase+k)
+		if err != nil {
+			return nil, err
+		}
+		piv = msg.I
+	}
+	g.pivots[k] = nil
+	if _, w := g.blockDims(k, k); len(piv) != w {
+		return nil, fmt.Errorf("hpl: stage %d pivot payload has %d entries, want %d", k, len(piv), w)
+	}
+	g.recordPivots(k, piv)
+	return piv, nil
+}
+
+// factorPanelBatched is the synchronous batched panel factorization:
+// gather/factor/scatter over one message per rank pair, then the flat
+// pivot fan-out consumed immediately by every rank.
+func (g *grid2d) factorPanelBatched(k int) ([]int, error) {
+	rootP, rootQ := g.owner(k, k)
+	root := g.rank(rootP, rootQ)
+	piv, err := g.factorPanelCore(k)
+	if err != nil {
+		return nil, err
+	}
+	if g.me() == root {
+		for r := 0; r < g.P*g.Q; r++ {
+			if r != root {
+				if err := g.c.Send(r, tag2dPivBase+k, nil, piv); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else {
+		msg, err := g.c.Recv(root, tag2dPivBase+k)
+		if err != nil {
+			return nil, err
+		}
+		piv = msg.I
+	}
+	if _, w := g.blockDims(k, k); len(piv) != w {
+		return nil, fmt.Errorf("hpl: stage %d pivot payload has %d entries, want %d", k, len(piv), w)
+	}
+	g.recordPivots(k, piv)
+	return piv, nil
+}
+
+// factorPanelCore gathers panel k on the diagonal owner in one message
+// per source rank, factors it, and scatters the factored segments back
+// in one message per destination rank. Only panel-column ranks
+// participate; the root returns the pivots, everyone else nil.
+func (g *grid2d) factorPanelCore(k int) ([]int, error) {
+	rootP, rootQ := g.owner(k, k)
+	root := g.rank(rootP, rootQ)
+	if g.q != rootQ {
+		return nil, nil
+	}
+	_, w := g.blockDims(k, k)
+	mine, total := g.panelSegs(k)
+
+	if g.me() != root {
+		if total == 0 {
+			return nil, nil
+		}
+		buf := make([]float64, 0, total)
+		for _, i := range mine {
+			buf = append(buf, flatten(g.blocks[[2]int{i, k}])...)
+		}
+		if err := g.c.Send(root, tag2dGatherBase+k, buf, nil); err != nil {
+			return nil, err
+		}
+		msg, err := g.c.Recv(root, tag2dGatherBase+k)
+		if err != nil {
+			return nil, err
+		}
+		if len(msg.F) != total {
+			return nil, fmt.Errorf("hpl: stage %d factored panel payload %d != %d", k, len(msg.F), total)
+		}
+		off := 0
+		for _, i := range mine {
+			r, _ := g.blockDims(i, k)
+			seg, err := unflatten(msg.F[off:off+r*w], r, w)
+			if err != nil {
+				return nil, err
+			}
+			g.blocks[[2]int{i, k}].CopyFrom(seg)
+			off += r * w
+		}
+		return nil, nil
+	}
+
+	// Root: assemble the panel from local blocks plus one message per
+	// contributing process row, factor, scatter back.
+	panelRows := g.n - k*g.nb
+	panel := matrix.NewDense(panelRows, w)
+	for pp := 0; pp < g.P; pp++ {
+		var rows []int
+		rowTotal := 0
+		for i := k; i < g.nBlocks; i++ {
+			if i%g.P == pp {
+				r, _ := g.blockDims(i, k)
+				rows = append(rows, i)
+				rowTotal += r * w
+			}
+		}
+		if rowTotal == 0 {
+			continue
+		}
+		if pp == g.p {
+			for _, i := range rows {
+				r, _ := g.blockDims(i, k)
+				panel.View((i-k)*g.nb, 0, r, w).CopyFrom(g.blocks[[2]int{i, k}])
+			}
+			continue
+		}
+		msg, err := g.c.Recv(g.rank(pp, rootQ), tag2dGatherBase+k)
+		if err != nil {
+			return nil, err
+		}
+		if len(msg.F) != rowTotal {
+			return nil, fmt.Errorf("hpl: stage %d gathered panel payload %d != %d", k, len(msg.F), rowTotal)
+		}
+		off := 0
+		for _, i := range rows {
+			r, _ := g.blockDims(i, k)
+			seg, err := unflatten(msg.F[off:off+r*w], r, w)
+			if err != nil {
+				return nil, err
+			}
+			panel.View((i-k)*g.nb, 0, r, w).CopyFrom(seg)
+			off += r * w
+		}
+	}
+	piv := make([]int, w)
+	if err := blas.Dgetf2(panel, piv); err != nil && g.firstError == nil {
+		g.firstError = blas.OffsetSingular(err, k*g.nb)
+	}
+	for pp := 0; pp < g.P; pp++ {
+		var rows []int
+		rowTotal := 0
+		for i := k; i < g.nBlocks; i++ {
+			if i%g.P == pp {
+				r, _ := g.blockDims(i, k)
+				rows = append(rows, i)
+				rowTotal += r * w
+			}
+		}
+		if rowTotal == 0 {
+			continue
+		}
+		if pp == g.p {
+			for _, i := range rows {
+				r, _ := g.blockDims(i, k)
+				g.blocks[[2]int{i, k}].CopyFrom(panel.View((i-k)*g.nb, 0, r, w))
+			}
+			continue
+		}
+		buf := make([]float64, 0, rowTotal)
+		for _, i := range rows {
+			r, _ := g.blockDims(i, k)
+			buf = append(buf, flatten(panel.View((i-k)*g.nb, 0, r, w))...)
+		}
+		if err := g.c.Send(g.rank(pp, rootQ), tag2dGatherBase+k, buf, nil); err != nil {
+			return nil, err
+		}
+	}
+	return piv, nil
+}
+
+// eagerFactor factors panel `next` during the current stage. Only
+// panel-column ranks move data; the root keeps the pivots and the other
+// participants consume their pivot copy immediately (keeping their link
+// to the root FIFO-clean). Every rank marks the panel factored — the
+// predicate is a pure function of the schedule, so the grid stays in
+// lockstep without communication.
+func (g *grid2d) eagerFactor(next int) error {
+	rootP, rootQ := g.owner(next, next)
+	root := g.rank(rootP, rootQ)
+	if g.q == rootQ {
+		piv, err := g.factorPanelCore(next)
+		if err != nil {
+			return err
+		}
+		if g.me() == root {
+			g.pivots[next] = piv
+		} else {
+			msg, err := g.c.Recv(root, tag2dPivBase+next)
+			if err != nil {
+				return err
+			}
+			g.pivots[next] = msg.I
+		}
+	}
+	g.factored[next] = true
+	return nil
+}
+
+// eagerPivotSendParticipants posts the pivots of an eagerly factored
+// panel to its panel-column participants (they receive inside
+// eagerFactor, at the same schedule point).
+func (g *grid2d) eagerPivotSendParticipants(next int) error {
+	rootP, rootQ := g.owner(next, next)
+	root := g.rank(rootP, rootQ)
+	if g.me() != root {
+		return nil
+	}
+	piv := g.pivots[next]
+	for pp := 0; pp < g.P; pp++ {
+		if r := g.rank(pp, rootQ); r != root {
+			if err := g.c.Send(r, tag2dPivBase+next, nil, piv); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// eagerPivotFanout posts the pivots of an eagerly factored panel to
+// every rank outside the panel column. It must run as the stage's very
+// last sends: any earlier, and a later same-stage message from the root
+// to a non-participant would queue behind pivots that rank only consumes
+// next stage, breaking the link's FIFO order.
+func (g *grid2d) eagerPivotFanout(next int) error {
+	rootP, rootQ := g.owner(next, next)
+	root := g.rank(rootP, rootQ)
+	if g.me() != root {
+		return nil
+	}
+	piv := g.pivots[next]
+	for r := 0; r < g.P*g.Q; r++ {
+		if r == root || r%g.Q == rootQ {
+			continue
+		}
+		if err := g.c.Send(r, tag2dPivBase+next, nil, piv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- batched tree L broadcast (basic/pipelined) ------------------------
+
+// sendLRoot posts this rank's batched L payload for stage k to its
+// binomial-tree children along the process row (one message per tree
+// edge instead of one per block per peer).
+func (g *grid2d) sendLRoot(k int) error {
+	_, rootQ := g.owner(k, k)
+	g.lSent[k] = true
+	if g.Q == 1 {
+		return nil
+	}
+	mine, total := g.panelSegs(k)
+	if total == 0 {
+		return nil
+	}
+	buf := g.scratch[:0]
+	for _, i := range mine {
+		blk := g.blocks[[2]int{i, k}]
+		for r := 0; r < blk.Rows; r++ {
+			buf = append(buf, blk.Row(r)...)
+		}
+	}
+	g.scratch = buf[:0]
+	_, children := cluster.BcastTree(g.Q, rootQ, g.q)
+	for _, cq := range children {
+		if err := g.c.Send(g.rank(g.p, cq), tag2dLBase+k, buf, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvL makes stage k's L panel available on every rank: panel-column
+// ranks use (or post, if not already eagerly sent) their own blocks;
+// everyone else receives the batched payload from its tree parent and
+// relays it onward bitwise. In pipelined mode the owner column clones
+// its L blocks so the asynchronous trailing updates read stable data
+// while later stages swap rows of the real panel column.
+func (g *grid2d) recvL(k int) error {
+	rootP, rootQ := g.owner(k, k)
+	g.stageL11 = nil
+	clearDense(g.stageL21)
+	// Previous stage's packed panels are dead here in the synchronous
+	// schedules, so their slabs can recycle; with a deferred pipeline
+	// queued jobs may still read them, so they are left to the GC.
+	release := !g.pipe.deferred()
+	for i, pa := range g.packedL {
+		if release {
+			pa.Release()
+		}
+		g.packedL[i] = nil
+	}
+	if g.q == rootQ && !g.lSent[k] {
+		if err := g.sendLRoot(k); err != nil {
+			return err
+		}
+	}
+	g.lSent[k] = false
+
+	_, w := g.blockDims(k, k)
+	mine, total := g.panelSegs(k)
+	if total == 0 {
+		return nil
+	}
+	if g.q == rootQ {
+		for _, i := range mine {
+			blk := g.blocks[[2]int{i, k}]
+			if g.pipe.deferred() {
+				// Queued GEMMs may read these blocks after stage k+1 has
+				// started swapping rows of the real panel column.
+				blk = blk.Clone()
+			}
+			if i == k {
+				if g.p == rootP {
+					g.stageL11 = blk
+				}
+			} else {
+				g.stageL21[i] = blk
+			}
+		}
+		return nil
+	}
+	parent, children := cluster.BcastTree(g.Q, rootQ, g.q)
+	msg, err := g.c.Recv(g.rank(g.p, parent), tag2dLBase+k)
+	if err != nil {
+		return err
+	}
+	if len(msg.F) != total {
+		return fmt.Errorf("hpl: stage %d L payload %d != %d", k, len(msg.F), total)
+	}
+	for _, cq := range children {
+		if err := g.c.Send(g.rank(g.p, cq), tag2dLBase+k, msg.F, nil); err != nil {
+			return err
+		}
+	}
+	off := 0
+	for _, i := range mine {
+		r, _ := g.blockDims(i, k)
+		blk, err := unflatten(msg.F[off:off+r*w], r, w)
+		if err != nil {
+			return err
+		}
+		off += r * w
+		if i == k {
+			if g.p == rootP {
+				g.stageL11 = blk
+			}
+		} else {
+			g.stageL21[i] = blk
+		}
+	}
+	return nil
+}
+
+// --- tree U broadcast and per-column updates ---------------------------
+
+// solveUColumn computes U12(k,j) by DTRSM on the pivot process row and
+// tree-broadcasts it down the process column (relays forward the raw
+// payload, so every copy is bitwise the root's).
+func (g *grid2d) solveUColumn(k, j int) error {
+	rootP, _ := g.owner(k, k)
+	var u *matrix.Dense
+	if g.p == rootP {
+		u = g.blocks[[2]int{k, j}]
+		blas.Dtrsm(blas.Left, blas.Lower, false, blas.Unit, 1, g.stageL11, u)
+	}
+	if g.P > 1 {
+		tag := tag2dUBase + k*g.nBlocks + j
+		var payload []float64
+		parent, children := cluster.BcastTree(g.P, rootP, g.p)
+		if g.p == rootP {
+			payload = g.scratch[:0]
+			for r := 0; r < u.Rows; r++ {
+				payload = append(payload, u.Row(r)...)
+			}
+			g.scratch = payload[:0]
+		} else {
+			r, c := g.blockDims(k, j)
+			msg, err := g.c.Recv(g.rank(parent, g.q), tag)
+			if err != nil {
+				return err
+			}
+			if u, err = unflatten(msg.F, r, c); err != nil {
+				return err
+			}
+			payload = msg.F
+		}
+		for _, cp := range children {
+			if err := g.c.Send(g.rank(cp, g.q), tag, payload, nil); err != nil {
+				return err
+			}
+		}
+	}
+	g.stageU12[j] = u
+	return nil
+}
+
+// solveUTree runs solveUColumn over every owned trailing column,
+// ascending — the basic schedule's bulk U phase.
+func (g *grid2d) solveUTree(k int) error {
+	clearDense(g.stageU12)
+	for j := k + 1; j < g.nBlocks; j++ {
+		if j%g.Q != g.q {
+			continue
+		}
+		if err := g.solveUColumn(k, j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prepackL returns stage-wide −L21(i) in packed-tile form, packing on
+// first use and caching until recvL opens the next stage. Protocol
+// goroutine only.
+func (g *grid2d) prepackL(i int, l *matrix.Dense) *blas.PrepackedA {
+	if pa := g.packedL[i]; pa != nil {
+		return pa
+	}
+	pa := blas.PrepackA(l, -1)
+	g.packedL[i] = pa
+	return pa
+}
+
+// prepackU packs column j's U block once for reuse across the column's
+// block rows, or returns nil when the update is outside the packed fast
+// path. The gate depends on k alone — the same crossover as RankKUpdate
+// — so the look-ahead schedules stay bitwise identical to the reference
+// per-block updates.
+func (g *grid2d) prepackU(u *matrix.Dense) *blas.PrepackedB {
+	if g.offloadUpdates || u == nil || u.Rows < blas.PackedMinK {
+		return nil
+	}
+	return blas.PrepackB(u)
+}
+
+// updateColumn applies the stage-k trailing update to the owned blocks
+// of column j, synchronously. U is packed once per column and the L
+// panels come from the per-stage prepack cache, so the column's updates
+// share packed operands instead of re-packing both per block.
+func (g *grid2d) updateColumn(k, j int) error {
+	u := g.stageU12[j]
+	pu := g.prepackU(u)
+	defer pu.Release()
+	for i := k + 1; i < g.nBlocks; i++ {
+		if i%g.P != g.p {
+			continue
+		}
+		blk := g.blocks[[2]int{i, j}]
+		l := g.stageL21[i]
+		if l == nil || u == nil || blk == nil {
+			return fmt.Errorf("hpl: rank (%d,%d) missing stage-%d operands for block (%d,%d)", g.p, g.q, k, i, j)
+		}
+		switch {
+		case g.offloadUpdates:
+			if err := offloadUpdate(g.ctx, l, u, blk); err != nil {
+				return err
+			}
+		case pu != nil:
+			blas.GemmPrepacked(g.prepackL(i, l), pu, blk, 1)
+		default:
+			blas.RankKUpdate(l, u, blk, 1)
+		}
+	}
+	return nil
+}
+
+// updateRest applies the stage-k trailing update to every owned block,
+// optionally skipping the already-updated look-ahead column k+1. Going
+// column by column lets each column reuse its packed U operand.
+func (g *grid2d) updateRest(k int, skipAhead bool) error {
+	for j := k + 1; j < g.nBlocks; j++ {
+		if j%g.Q != g.q || (skipAhead && j == k+1) {
+			continue
+		}
+		if err := g.updateColumn(k, j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- coalesced long swaps (pipelined) ----------------------------------
+
+// swapPair maps one destination slot (a global row index) to the
+// original global row that ends up there after the stage's full pivot
+// swap sequence.
+type swapPair struct{ slot, src int }
+
+// swapPerm reduces the stage's sequential pivot swaps to their net
+// permutation: applying the transpositions (r1 r2) in pivot order, slot
+// s ends up holding original row perm(s). Later pivots may touch rows
+// moved by earlier ones, so the sequence is simulated exactly; only
+// moved slots are returned, ascending.
+func swapPerm(k, nb int, piv []int) []swapPair {
+	cur := map[int]int{} // slot -> original row currently parked there
+	at := func(s int) int {
+		if r, ok := cur[s]; ok {
+			return r
+		}
+		return s
+	}
+	for j, pv := range piv {
+		r1, r2 := k*nb+j, k*nb+pv
+		if r1 == r2 {
+			continue
+		}
+		cur[r1], cur[r2] = at(r2), at(r1)
+	}
+	pairs := make([]swapPair, 0, len(cur))
+	for slot, src := range cur {
+		if slot != src {
+			pairs = append(pairs, swapPair{slot: slot, src: src})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].slot < pairs[b].slot })
+	return pairs
+}
+
+// stageSwap is one stage's coalesced row exchange: every row this rank
+// must ship leaves in a single packed message per peer process row,
+// packed in column-consumption order, and the received payloads are
+// consumed sequentially as the column loop applies each column's
+// permutation. One exchange per peer pair per stage — not per pivot
+// (the synchronous schedule) or per column. The routing (which pairs
+// this rank sends, receives, or cycles locally) is resolved once per
+// stage; the per-column work is pure copying.
+type stageSwap struct {
+	recvIdx  [][]int           // peer process row -> pair indices received from it
+	localIdx []int             // pair indices cycling within this rank
+	routes   []swapRoute       // per pair: block/row coordinates of src and slot
+	stash    map[int][]float64 // peer process row -> packed rows received
+	off      []int             // peer process row -> consumed payload offset
+	snap     []float64         // per-column snapshot scratch for local cycles
+}
+
+// swapRoute caches a pair's block-row/row-in-block coordinates so the
+// per-column loops do no division.
+type swapRoute struct{ srcI, srcR, slotI, slotR int }
+
+// rowProc is the process row owning global matrix row `global`.
+func (g *grid2d) rowProc(global int) int { return (global / g.nb) % g.P }
+
+// swapExchange resolves the stage's swap routing and posts/collects its
+// packed messages. Sends are packed straight from the (not yet
+// modified) blocks in the shared column order, so both ends of every
+// link agree on the layout without any per-row headers.
+func (g *grid2d) swapExchange(k int, pairs []swapPair, order []int) (*stageSwap, error) {
+	s := &stageSwap{stash: map[int][]float64{}, off: make([]int, g.P)}
+	if len(pairs) == 0 {
+		return s, nil
+	}
+	s.routes = make([]swapRoute, len(pairs))
+	sendIdx := make([][]int, g.P)
+	s.recvIdx = make([][]int, g.P)
+	for x, pr := range pairs {
+		s.routes[x] = swapRoute{pr.src / g.nb, pr.src % g.nb, pr.slot / g.nb, pr.slot % g.nb}
+		sp, dp := g.rowProc(pr.src), g.rowProc(pr.slot)
+		switch {
+		case sp == g.p && dp == g.p:
+			s.localIdx = append(s.localIdx, x)
+		case sp == g.p:
+			sendIdx[dp] = append(sendIdx[dp], x)
+		case dp == g.p:
+			s.recvIdx[sp] = append(s.recvIdx[sp], x)
+		}
+	}
+	tag := tag2dSwapBase + k
+	for pd := 0; pd < g.P; pd++ {
+		if len(sendIdx[pd]) == 0 {
+			continue
+		}
+		buf := g.scratch[:0]
+		for _, jb := range order {
+			_, w := g.blockDims(0, jb)
+			for _, x := range sendIdx[pd] {
+				rt := s.routes[x]
+				buf = append(buf, g.blocks[[2]int{rt.srcI, jb}].Row(rt.srcR)[:w]...)
+			}
+		}
+		g.scratch = buf[:0]
+		if err := g.c.Send(g.rank(pd, g.q), tag, buf, nil); err != nil {
+			return nil, err
+		}
+	}
+	wTotal := 0
+	for _, jb := range order {
+		_, w := g.blockDims(0, jb)
+		wTotal += w
+	}
+	for ps := 0; ps < g.P; ps++ {
+		if len(s.recvIdx[ps]) == 0 {
+			continue
+		}
+		msg, err := g.c.Recv(g.rank(ps, g.q), tag)
+		if err != nil {
+			return nil, err
+		}
+		if want := len(s.recvIdx[ps]) * wTotal; len(msg.F) != want {
+			return nil, fmt.Errorf("hpl: stage %d packed swap payload %d != %d", k, len(msg.F), want)
+		}
+		s.stash[ps] = msg.F
+	}
+	return s, nil
+}
+
+// apply replays the stage permutation on block column jb: remote rows
+// come off the stashed payloads in pack order, local cycles go through
+// a snapshot so the result equals the sequential transposition sequence
+// exactly. (Every slot is written once, so remote and local writes
+// commute; only the snapshot-before-write order matters.)
+func (s *stageSwap) apply(g *grid2d, jb int) {
+	if len(s.routes) == 0 {
+		return
+	}
+	_, w := g.blockDims(0, jb)
+	if len(s.localIdx) > 0 {
+		if cap(s.snap) < len(s.localIdx)*w {
+			s.snap = make([]float64, len(s.localIdx)*w)
+		}
+		for y, x := range s.localIdx {
+			rt := s.routes[x]
+			copy(s.snap[y*w:(y+1)*w], g.blocks[[2]int{rt.srcI, jb}].Row(rt.srcR)[:w])
+		}
+		for y, x := range s.localIdx {
+			rt := s.routes[x]
+			copy(g.blocks[[2]int{rt.slotI, jb}].Row(rt.slotR)[:w], s.snap[y*w:(y+1)*w])
+		}
+	}
+	for ps, idx := range s.recvIdx {
+		if len(idx) == 0 {
+			continue
+		}
+		payload, off := s.stash[ps], s.off[ps]
+		for _, x := range idx {
+			rt := s.routes[x]
+			copy(g.blocks[[2]int{rt.slotI, jb}].Row(rt.slotR)[:w], payload[off:off+w])
+			off += w
+		}
+		s.off[ps] = off
+	}
+}
+
+// --- asynchronous trailing-update pipeline (pipelined) -----------------
+
+// pipeJob is one block column's trailing update, run off the protocol
+// goroutine. It carries its own operand references so the stage maps
+// can be reused while the job is still queued.
+type pipeJob struct {
+	ctx     context.Context
+	blocks  []*matrix.Dense
+	ls      []*matrix.Dense
+	u       *matrix.Dense
+	pls     []*blas.PrepackedA // prepacked −L operands (nil: reference path)
+	pu      *blas.PrepackedB   // prepacked U operand, shared by the column
+	offload bool
+	rec     *trace.Recorder
+	lane    int
+	iter    int
+	signal  chan struct{}
+}
+
+// pipeline runs trailing-update GEMM jobs on a single worker goroutine,
+// FIFO, with per-column completion signals. The protocol goroutine
+// enqueues column j's update and only waits for it when a later stage
+// needs to touch column j again. With a single compute lane (pool.Size()
+// <= 1) the worker cannot overlap anything, so jobs run inline at
+// enqueue instead — same FIFO order, same arithmetic, none of the
+// channel handoffs or scheduler switches.
+type pipeline struct {
+	jobs   chan pipeJob
+	done   chan struct{}
+	inline bool
+	pend   map[int]chan struct{} // column -> completion (protocol side only)
+	mu     sync.Mutex
+	err    error
+}
+
+func newPipeline(buffer int) *pipeline {
+	p := &pipeline{pend: map[int]chan struct{}{}}
+	if pool.Size() <= 1 {
+		p.inline = true
+		return p
+	}
+	p.jobs = make(chan pipeJob, buffer)
+	p.done = make(chan struct{})
+	go p.worker()
+	return p
+}
+
+func (p *pipeline) worker() {
+	defer close(p.done)
+	for job := range p.jobs {
+		if p.getErr() == nil {
+			p.runJob(job)
+		}
+		close(job.signal)
+	}
+}
+
+// runJob executes one column's update; panics (including pool.Do's
+// re-raised *PanicError) are contained here and surfaced as the
+// pipeline's first error instead of escaping the worker goroutine.
+func (p *pipeline) runJob(job pipeJob) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.setErr(fmt.Errorf("hpl: trailing-update worker panicked: %v", r))
+		}
+	}()
+	// The packed U is private to this job; the packed L panels belong to
+	// the stage cache and outlive it.
+	defer job.pu.Release()
+	for i, l := range job.ls {
+		if l == nil || job.u == nil || job.blocks[i] == nil {
+			p.setErr(fmt.Errorf("hpl: pipelined update missing operands (stage %d)", job.iter))
+			return
+		}
+	}
+	ts := job.rec.Start()
+	n := len(job.blocks)
+	switch {
+	case job.offload:
+		for i := 0; i < n; i++ {
+			if err := offloadUpdate(job.ctx, job.ls[i], job.u, job.blocks[i]); err != nil {
+				p.setErr(err)
+				return
+			}
+		}
+	case job.pu != nil && n > 1 && pool.Size() > 1:
+		pool.Do(n, pool.Size(), func(i int) {
+			blas.GemmPrepacked(job.pls[i], job.pu, job.blocks[i], 1)
+		})
+	case job.pu != nil:
+		for i := 0; i < n; i++ {
+			blas.GemmPrepacked(job.pls[i], job.pu, job.blocks[i], 1)
+		}
+	case n > 1 && pool.Size() > 1:
+		pool.Do(n, pool.Size(), func(i int) {
+			blas.RankKUpdate(job.ls[i], job.u, job.blocks[i], 1)
+		})
+	default:
+		for i := 0; i < n; i++ {
+			blas.RankKUpdate(job.ls[i], job.u, job.blocks[i], 1)
+		}
+	}
+	job.rec.Since(job.lane, "GEMM", job.iter, ts)
+}
+
+func (p *pipeline) setErr(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+func (p *pipeline) getErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// enqueue registers column col's completion signal and hands the job to
+// the worker (or runs it on the spot in inline mode). Protocol goroutine
+// only.
+func (p *pipeline) enqueue(col int, job pipeJob) {
+	if p.inline {
+		if p.getErr() == nil {
+			p.runJob(job)
+		}
+		return
+	}
+	job.signal = make(chan struct{})
+	p.pend[col] = job.signal
+	p.jobs <- job
+}
+
+// waitCol blocks until column j's queued update (if any) has finished.
+func (p *pipeline) waitCol(j int) error {
+	if p == nil {
+		return nil
+	}
+	if ch, ok := p.pend[j]; ok {
+		delete(p.pend, j)
+		<-ch
+	}
+	return p.getErr()
+}
+
+// drain waits for every queued update.
+func (p *pipeline) drain() error {
+	if p == nil {
+		return nil
+	}
+	for j, ch := range p.pend {
+		<-ch
+		delete(p.pend, j)
+	}
+	return p.getErr()
+}
+
+// stop closes the queue and joins the worker. Call exactly once, after
+// the last enqueue.
+func (p *pipeline) stop() {
+	if p == nil || p.jobs == nil {
+		return
+	}
+	close(p.jobs)
+	<-p.done
+}
+
+// deferred reports whether queued jobs may still be pending after
+// enqueue returns — i.e. whether operands handed to the pipeline must
+// stay stable across later protocol steps.
+func (p *pipeline) deferred() bool { return p != nil && !p.inline }
+
+func (g *grid2d) startPipe() {
+	if g.mode == LookaheadPipelined {
+		g.pipe = newPipeline(g.nBlocks + 1)
+	}
+}
+
+func (g *grid2d) stopPipe() { g.pipe.stop() }
+
+func (g *grid2d) drainPipe() error { return g.pipe.drain() }
+
+// enqueueUpdate hands column j's stage-k trailing update to the
+// asynchronous worker.
+func (g *grid2d) enqueueUpdate(k, j int) {
+	var blocks, ls []*matrix.Dense
+	var rows []int
+	if !g.pipe.deferred() {
+		// Inline jobs are consumed before enqueue returns, so the slices
+		// can live on the grid and be reused column after column.
+		blocks, ls, rows = g.jobBlocks[:0], g.jobLs[:0], g.jobRows[:0]
+	}
+	for i := k + 1; i < g.nBlocks; i++ {
+		if i%g.P != g.p {
+			continue
+		}
+		blocks = append(blocks, g.blocks[[2]int{i, j}])
+		ls = append(ls, g.stageL21[i])
+		rows = append(rows, i)
+	}
+	if len(blocks) == 0 {
+		return
+	}
+	// Prepack the column's operands on the protocol goroutine (the cache
+	// is not worker-safe; the packed panels themselves are immutable, so
+	// the worker may read them freely). A missing operand disables the
+	// fast path and lets runJob report it.
+	u := g.stageU12[j]
+	pu := g.prepackU(u)
+	var pls []*blas.PrepackedA
+	if pu != nil {
+		if g.pipe.deferred() {
+			pls = make([]*blas.PrepackedA, len(ls))
+		} else {
+			if cap(g.jobPls) < len(ls) {
+				g.jobPls = make([]*blas.PrepackedA, len(ls))
+			}
+			pls = g.jobPls[:len(ls)]
+		}
+		for x, l := range ls {
+			if l == nil {
+				pu.Release()
+				pu, pls = nil, nil
+				break
+			}
+			pls[x] = g.prepackL(rows[x], l)
+		}
+	}
+	if !g.pipe.deferred() {
+		g.jobBlocks, g.jobLs, g.jobRows = blocks[:0], ls[:0], rows[:0]
+	}
+	g.pipe.enqueue(j, pipeJob{
+		ctx:     g.ctx,
+		blocks:  blocks,
+		ls:      ls,
+		u:       u,
+		pls:     pls,
+		pu:      pu,
+		offload: g.offloadUpdates,
+		rec:     g.rec,
+		lane:    g.P*g.Q + g.me(),
+		iter:    k,
+	})
+}
+
+// --- stage schedules ---------------------------------------------------
+
+// openStage makes panel k's pivots and L panel available. The order of
+// the two steps tracks the wire order on the panel root's links: when
+// the panel was factored eagerly, its L broadcast was posted mid-stage
+// while the pivot fan-out to non-participants ran as the previous
+// stage's last sends, so L must be consumed first; in the synchronous
+// case the panel is factored (and its pivots fanned out) before any L
+// payload exists. g.factored is a pure function of the schedule, so
+// every rank takes the same branch.
+func (g *grid2d) openStage(k int) ([]int, error) {
+	if g.factored[k] {
+		ts := g.rec.Start()
+		if err := g.recvL(k); err != nil {
+			return nil, err
+		}
+		g.tspan("Lbcast", k, ts)
+		ts = g.rec.Start()
+		piv, err := g.ensureFactored(k)
+		if err != nil {
+			return nil, err
+		}
+		g.tspan("panel", k, ts)
+		return piv, nil
+	}
+	ts := g.rec.Start()
+	piv, err := g.ensureFactored(k)
+	if err != nil {
+		return nil, err
+	}
+	g.tspan("panel", k, ts)
+	ts = g.rec.Start()
+	if err := g.recvL(k); err != nil {
+		return nil, err
+	}
+	g.tspan("Lbcast", k, ts)
+	return piv, nil
+}
+
+// stageBasic is the paper's basic look-ahead: after the bulk swap and U
+// phases, the next panel's block column is updated first, panel k+1 is
+// factored and its L broadcast posted, and only then does the rest of
+// trailing update k run.
+func (g *grid2d) stageBasic(k int) error {
+	piv, err := g.openStage(k)
+	if err != nil {
+		return err
+	}
+
+	ts := g.rec.Start()
+	if err := g.swapRows(k, piv); err != nil {
+		return err
+	}
+	g.tspan("swap", k, ts)
+	if err := g.hookAfterSwaps(k, piv); err != nil {
+		return err
+	}
+	if err := g.hookAfterL(k); err != nil {
+		return err
+	}
+
+	ts = g.rec.Start()
+	if err := g.solveUTree(k); err != nil {
+		return err
+	}
+	g.tspan("Ubcast", k, ts)
+
+	ahead := g.aheadOK(k + 1)
+	if ahead {
+		if (k+1)%g.Q == g.q {
+			// Only the owners of block column k+1 hold its blocks; the
+			// eager helpers below self-select on panel membership.
+			ts = g.rec.Start()
+			if err := g.updateColumn(k, k+1); err != nil {
+				return err
+			}
+			g.tspan("GEMM", k, ts)
+		}
+		ts = g.rec.Start()
+		if err := g.eagerFactor(k + 1); err != nil {
+			return err
+		}
+		if err := g.eagerPivotSendParticipants(k + 1); err != nil {
+			return err
+		}
+		if err := g.eagerSendL(k + 1); err != nil {
+			return err
+		}
+		g.tspan("panel", k+1, ts)
+	}
+	ts = g.rec.Start()
+	if err := g.updateRest(k, ahead); err != nil {
+		return err
+	}
+	g.tspan("GEMM", k, ts)
+	if err := g.hookAfterUpdate(k); err != nil {
+		return err
+	}
+	if ahead {
+		return g.eagerPivotFanout(k + 1)
+	}
+	return nil
+}
+
+// eagerSendL posts the eagerly factored panel's L broadcast from its
+// panel-column owners.
+func (g *grid2d) eagerSendL(next int) error {
+	_, rootQ := g.owner(next, next)
+	if g.q != rootQ {
+		return nil
+	}
+	return g.sendLRoot(next)
+}
+
+// columnOrder returns the owned block columns of stage k's swap/update
+// loop in schedule order: the look-ahead column k+1 first (when owned
+// and eligible), then every other owned column ascending, skipping the
+// panel column itself. Columns left of the panel still appear — their
+// rows are swapped — but receive no U or GEMM work.
+func (g *grid2d) columnOrder(k int, ahead bool) []int {
+	var order []int
+	if ahead && (k+1)%g.Q == g.q {
+		order = append(order, k+1)
+	}
+	for j := 0; j < g.nBlocks; j++ {
+		if j%g.Q != g.q || j == k || (ahead && j == k+1) {
+			continue
+		}
+		order = append(order, j)
+	}
+	return order
+}
+
+// stagePipelined is the paper's software pipeline: per owned block
+// column, the coalesced row swap, DTRSM and tree U broadcast run on the
+// protocol goroutine while the previous column's GEMM runs on the
+// asynchronous worker. The look-ahead column is handled first and
+// synchronously, so panel k+1 factors and its broadcasts post while the
+// bulk of trailing update k is still queued.
+func (g *grid2d) stagePipelined(k int) error {
+	piv, err := g.openStage(k)
+	if err != nil {
+		return err
+	}
+
+	clearDense(g.stageU12)
+	pairs := swapPerm(k, g.nb, piv)
+	ahead := g.aheadOK(k + 1)
+	order := g.columnOrder(k, ahead)
+
+	if g.pipe.deferred() {
+		// The packed exchange reads rows the queued trailing updates
+		// write; freeze them before packing.
+		if err := g.pipe.drain(); err != nil {
+			return err
+		}
+	}
+	ts := g.rec.Start()
+	sw, err := g.swapExchange(k, pairs, order)
+	if err != nil {
+		return err
+	}
+	g.tspan("swap", k, ts)
+
+	for _, j := range order {
+		if err := g.pipe.waitCol(j); err != nil {
+			return err
+		}
+		sw.apply(g, j)
+		if j <= k {
+			continue
+		}
+		ts = g.rec.Start()
+		if err := g.solveUColumn(k, j); err != nil {
+			return err
+		}
+		g.tspan("Ubcast", k, ts)
+		if ahead && j == k+1 {
+			ts = g.rec.Start()
+			if err := g.updateColumn(k, j); err != nil {
+				return err
+			}
+			g.tspan("GEMM", k, ts)
+			ts = g.rec.Start()
+			if err := g.eagerFactor(k + 1); err != nil {
+				return err
+			}
+			if err := g.eagerPivotSendParticipants(k + 1); err != nil {
+				return err
+			}
+			if err := g.eagerSendL(k + 1); err != nil {
+				return err
+			}
+			g.tspan("panel", k+1, ts)
+		} else {
+			g.enqueueUpdate(k, j)
+		}
+	}
+	if ahead && (k+1)%g.Q != g.q {
+		// Non-participants take no part in the eager factorization but
+		// must agree the panel is done; their pivots arrive via the
+		// stage-end fan-out below.
+		g.factored[k+1] = true
+	}
+	if err := g.hookAfterSwaps(k, piv); err != nil {
+		return err
+	}
+	if err := g.hookAfterL(k); err != nil {
+		return err
+	}
+	if err := g.hookAfterUpdate(k); err != nil {
+		return err
+	}
+	if ahead {
+		return g.eagerPivotFanout(k + 1)
+	}
+	return nil
+}

@@ -179,6 +179,17 @@ type Result struct {
 // WriteReport renders results in the HPL.out layout. Skipped combinations
 // contribute only to the footer's skipped count, like the reference HPL.
 func WriteReport(w io.Writer, results []Result) {
+	WriteReportHeader(w, "", results)
+}
+
+// WriteReportHeader is WriteReport with a free-form configuration line
+// (e.g. "look-ahead: pipelined") printed above the result table, the slot
+// the reference HPL.out uses for the run's parameter echo. An empty
+// header prints nothing extra.
+func WriteReportHeader(w io.Writer, header string, results []Result) {
+	if header != "" {
+		fmt.Fprintln(w, header)
+	}
 	fmt.Fprintf(w, "%-14s %9s %5s %5s %5s %12s %14s\n",
 		"T/V", "N", "NB", "P", "Q", "Time", "Gflops")
 	fmt.Fprintln(w, strings.Repeat("-", 72))

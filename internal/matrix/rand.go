@@ -30,6 +30,24 @@ func (p *PRNG) next() uint64 {
 // Uint64 returns the next raw 64-bit value.
 func (p *PRNG) Uint64() uint64 { return p.next() }
 
+// Skip advances the generator by n steps in O(log n). An LCG's n-step
+// transition is itself affine, state -> A·state + C with A = mul^n and
+// C = inc·(mul^(n-1) + … + 1), so square-and-multiply over the affine
+// maps lands on exactly the state n sequential next() calls would reach
+// — the jump that lets a distributed rank generate its slice of a
+// shared random matrix without streaming past everyone else's.
+func (p *PRNG) Skip(n uint64) {
+	accMul, accInc := uint64(1), uint64(0)
+	stepMul, stepInc := uint64(lcgMul), uint64(lcgInc)
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			accMul, accInc = stepMul*accMul, stepMul*accInc+stepInc
+		}
+		stepMul, stepInc = stepMul*stepMul, stepMul*stepInc+stepInc
+	}
+	p.state = p.state*accMul + accInc
+}
+
 // Float64 returns a uniform value in [-0.5, 0.5), the distribution HPL uses
 // to generate test matrices (HPL_rand yields values in [-0.5, 0.5]).
 func (p *PRNG) Float64() float64 {
@@ -76,6 +94,23 @@ func RandomSystem(n int, seed uint64) (a *Dense, b []float64) {
 		b[i] = p.Float64()
 	}
 	return a, b
+}
+
+// RandomSubmatrix generates the rows×cols window of RandomSystem(n,
+// seed)'s matrix anchored at (r0, c0), by jumping the stream to each
+// window row — bitwise identical to slicing the full matrix, without
+// materializing (or even iterating) the other n²−rows·cols entries.
+func RandomSubmatrix(n int, seed uint64, r0, c0, rows, cols int) *Dense {
+	m := NewDense(rows, cols)
+	for i := 0; i < rows; i++ {
+		p := NewPRNG(seed)
+		p.Skip(uint64(r0+i)*uint64(n) + uint64(c0))
+		row := m.Row(i)
+		for j := range row {
+			row[j] = p.Float64()
+		}
+	}
+	return m
 }
 
 // RandomVector returns a length-n vector of uniform [-0.5,0.5) entries.

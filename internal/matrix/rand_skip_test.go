@@ -1,0 +1,47 @@
+package matrix
+
+import "testing"
+
+// Skip(n) must land on exactly the state n sequential draws reach — the
+// property the distributed scatter relies on to generate a rank's blocks
+// without streaming the whole matrix.
+func TestPRNGSkipMatchesSequential(t *testing.T) {
+	for _, n := range []uint64{0, 1, 2, 7, 63, 64, 1000, 123457} {
+		seq := NewPRNG(42)
+		for i := uint64(0); i < n; i++ {
+			seq.Float64()
+		}
+		jump := NewPRNG(42)
+		jump.Skip(n)
+		for i := 0; i < 5; i++ {
+			a, b := seq.Float64(), jump.Float64()
+			if a != b {
+				t.Fatalf("skip %d: draw %d = %v, want %v", n, i, b, a)
+			}
+		}
+	}
+}
+
+// RandomSubmatrix must be bitwise the corresponding window of the full
+// RandomSystem matrix, including ragged edge windows.
+func TestRandomSubmatrixBitwise(t *testing.T) {
+	const n, seed = 37, 99
+	full, _ := RandomSystem(n, seed)
+	for _, w := range []struct{ r0, c0, rows, cols int }{
+		{0, 0, n, n},
+		{0, 0, 8, 8},
+		{16, 24, 8, 8},
+		{32, 32, 5, 5}, // ragged corner
+		{10, 0, 1, n},
+		{0, 36, n, 1},
+	} {
+		sub := RandomSubmatrix(n, seed, w.r0, w.c0, w.rows, w.cols)
+		for i := 0; i < w.rows; i++ {
+			for j := 0; j < w.cols; j++ {
+				if got, want := sub.At(i, j), full.At(w.r0+i, w.c0+j); got != want {
+					t.Fatalf("window %+v: (%d,%d) = %v, want %v", w, i, j, got, want)
+				}
+			}
+		}
+	}
+}

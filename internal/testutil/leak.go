@@ -66,8 +66,13 @@ func projectGoroutines() map[string]int {
 		if !strings.Contains(g, "phihpl/internal/") {
 			continue // runtime / testing machinery
 		}
-		if strings.Contains(g, "phihpl/internal/pool.") {
-			continue // global worker pool: persistent by design
+		// Global worker pool: persistent by design. Match the file, not
+		// the symbol — when ensure() is inlined into another package's
+		// caller, the worker's symbol carries that caller's prefix
+		// (e.g. hpl.newPipeline.Size.ensure.func1.1).
+		if strings.Contains(g, "phihpl/internal/pool.") ||
+			strings.Contains(g, "internal/pool/pool.go") {
+			continue
 		}
 		if strings.Contains(g, "phihpl/internal/testutil.") &&
 			!strings.Contains(g, "created by phihpl") {

@@ -72,6 +72,10 @@ type SolveResult struct {
 	Residual float64
 	Passed   bool
 	N        int
+	// Seconds is the wall-clock of the timed phase (factorization through
+	// back-substitution, entered through a barrier), the figure HPL itself
+	// reports. Set by the 2D distributed drivers; zero elsewhere.
+	Seconds float64
 	// FT carries recovery statistics when the fault-tolerant driver ran.
 	FT *FTStats
 }
@@ -132,19 +136,51 @@ func SolveDistributed(n, nb, ranks int, seed uint64) (SolveResult, error) {
 	if err != nil {
 		return SolveResult{}, err
 	}
-	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n}, nil
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n, Seconds: r.Seconds}, nil
 }
 
 // SolveDistributed2D runs the full HPL structure — a P×Q process grid
 // with 2D block-cyclic blocks, distributed pivot swaps, and row/column
 // broadcasts — on in-process nodes, bitwise identical to the sequential
-// algorithm.
+// algorithm. It uses the pipelined look-ahead schedule; see
+// SolveDistributed2DMode to pick another.
 func SolveDistributed2D(n, nb, p, q int, seed uint64) (SolveResult, error) {
 	r, err := hpl.SolveDistributed2D(n, nb, p, q, seed)
 	if err != nil {
 		return SolveResult{}, err
 	}
-	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n}, nil
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n, Seconds: r.Seconds}, nil
+}
+
+// LookaheadMode selects the stage schedule of the real 2D distributed
+// driver: LookaheadNone is the synchronous baseline, LookaheadBasic
+// factors panel k+1 as soon as its block column is updated, and
+// LookaheadPipelined (the default) additionally splits the trailing
+// update into per-block-column slices whose GEMMs overlap the next
+// column's swaps and broadcasts. All three produce bitwise-identical
+// factorizations.
+type LookaheadMode = hpl.LookaheadMode
+
+// Look-ahead schedules for the real 2D drivers (distinct from the
+// simulator's NoLookahead/BasicLookahead/PipelinedLookahead, which price
+// a modeled machine rather than schedule a real solve).
+const (
+	LookaheadNone      = hpl.LookaheadNone
+	LookaheadBasic     = hpl.LookaheadBasic
+	LookaheadPipelined = hpl.LookaheadPipelined
+)
+
+// ParseLookaheadMode parses "none", "basic" or "pipelined".
+func ParseLookaheadMode(s string) (LookaheadMode, error) { return hpl.ParseLookaheadMode(s) }
+
+// SolveDistributed2DMode is SolveDistributed2D with an explicit
+// look-ahead schedule.
+func SolveDistributed2DMode(n, nb, p, q int, seed uint64, mode LookaheadMode) (SolveResult, error) {
+	r, err := hpl.SolveDistributed2DMode(n, nb, p, q, seed, mode)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n, Seconds: r.Seconds}, nil
 }
 
 // SolveHybrid2D is SolveDistributed2D with every trailing update executed
@@ -155,7 +191,17 @@ func SolveHybrid2D(n, nb, p, q int, seed uint64) (SolveResult, error) {
 	if err != nil {
 		return SolveResult{}, err
 	}
-	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n}, nil
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n, Seconds: r.Seconds}, nil
+}
+
+// SolveHybrid2DMode is SolveHybrid2D with an explicit look-ahead
+// schedule.
+func SolveHybrid2DMode(n, nb, p, q int, seed uint64, mode LookaheadMode) (SolveResult, error) {
+	r, err := hpl.SolveDistributed2DHybridMode(n, nb, p, q, seed, mode)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n, Seconds: r.Seconds}, nil
 }
 
 // ParseFaultPlan parses a fault-injection spec like
@@ -177,7 +223,7 @@ func SolveFaultTolerant2D(n, nb, p, q int, seed uint64, cfg FTConfig) (SolveResu
 	if err != nil {
 		return SolveResult{}, err
 	}
-	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n, FT: r.FT}, nil
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n, Seconds: r.Seconds, FT: r.FT}, nil
 }
 
 // NativeLinpackSim prices a native Linpack run of order n on the simulated
