@@ -28,11 +28,12 @@ vet:
 # tile packers, the LU drivers built on top of them, the offload
 # work-stealing engine (heartbeats, straggler reclaim, cancellation), the
 # fault-path packages (message fabric + fault-tolerant distributed
-# solver), and the observability layer they all feed (span recorder +
-# metrics registry).
+# solver), the observability layer they all feed (span recorder +
+# metrics registry), the matrix containers (FP64 and FP32) the kernels
+# share, and the facade package that drives the mixed-precision solve.
 race:
 	$(GO) vet ./...
-	$(GO) test -race -timeout 10m ./internal/blas/... ./internal/pool/... ./internal/pack/... ./internal/lu/... ./internal/offload/... ./internal/cluster/... ./internal/hpl/... ./internal/fault/... ./internal/trace/... ./internal/metrics/...
+	$(GO) test -race -timeout 10m . ./internal/matrix/... ./internal/blas/... ./internal/pool/... ./internal/pack/... ./internal/lu/... ./internal/offload/... ./internal/cluster/... ./internal/hpl/... ./internal/fault/... ./internal/trace/... ./internal/metrics/...
 
 # bench: the packed-path vs reference comparison (GFLOPS + steady-state
 # allocation counts).
@@ -40,10 +41,12 @@ bench:
 	$(GO) test ./internal/blas -bench 'Dgemm|RankK' -benchmem -run xxx
 
 # benchjson: the machine-readable benchmark record — DgemmPacked vs
-# DgemmParallel at several sizes, the dynamic-DAG LU, and the real 2D
+# DgemmParallel at several sizes, the dynamic-DAG LU, the real 2D
 # distributed HPL at n=768 / NB=32 / 4x4 under each look-ahead schedule
-# (none, basic, pipelined) — written to BENCH_<yyyymmdd>.json (GFLOPS,
-# ns/op, allocs/op). Diff two files to see a regression as a number.
+# (none, basic, pipelined), and the HPL-MxP head-to-head (FP64 solve vs
+# FP32 factorization + FP64 refinement at n=768, interleaved best-of) —
+# written to BENCH_<yyyymmdd>.json (GFLOPS, ns/op, allocs/op). Diff two
+# files to see a regression as a number.
 benchjson:
 	$(GO) run ./cmd/benchjson
 

@@ -44,6 +44,14 @@ type caseResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	GFLOPS      float64 `json:"gflops"`
+	// Verdict is the HPL residual verdict of the solve rows ("PASSED");
+	// a failing residual aborts the record instead of reporting a number.
+	Verdict string `json:"verdict,omitempty"`
+	// SpeedupVsFP64 is set on the MxP-mixed row: best fp64 time over best
+	// mixed time for the same system.
+	SpeedupVsFP64 float64 `json:"speedup_vs_fp64,omitempty"`
+	// RefineIters is the refinement step count of the best mixed solve.
+	RefineIters int `json:"refine_iters,omitempty"`
 }
 
 // benchFile is the BENCH_<date>.json schema.
@@ -64,6 +72,9 @@ func main() {
 		hplnb    = flag.Int("hplnb", 16, "2D distributed HPL block size")
 		hplgrid  = flag.String("hplgrid", "2x2,4x4", "2D distributed HPL process grids, comma-separated PxQ")
 		hpliters = flag.Int("hpliters", 8, "2D distributed HPL iterations per (grid, mode); best timed phase is reported")
+		mxpn     = flag.Int("mxpn", 768, "mixed-precision comparison size: fp64 vs FP32+refinement on one system (0 skips)")
+		mxpnb    = flag.Int("mxpnb", 64, "mixed-precision comparison block size")
+		mxpiters = flag.Int("mxpiters", 5, "mixed-precision comparison iterations; modes interleave, best of each is reported")
 		out      = flag.String("o", "", "output path (default BENCH_<yyyymmdd>.json)")
 	)
 	flag.Parse()
@@ -110,6 +121,15 @@ func main() {
 			}
 			file.Results = append(file.Results, cs...)
 		}
+	}
+
+	if *mxpn > 0 {
+		cs, err := mxpCases(*mxpn, *mxpnb, *workers, *mxpiters)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		file.Results = append(file.Results, cs...)
 	}
 
 	b, err := json.MarshalIndent(file, "", "  ")
@@ -229,6 +249,83 @@ func hplCases(n, nb, p, q, iters int) ([]caseResult, error) {
 		})
 	}
 	return out, nil
+}
+
+// mxpCases benchmarks the HPL-MxP claim head to head: the classical FP64
+// solve against the mixed solve (FP32 packed factorization + FP64
+// iterative refinement) on the same random system. Like hplCases, the two
+// modes interleave across iterations so machine noise hits both alike,
+// and each mode's best iteration is reported. Every solve's residual is
+// checked against the HPL bar — and the mixed solve must win on its own
+// FP32 factors: a fallback to FP64 aborts the record rather than
+// reporting the fp64 path's time under the mixed label.
+func mxpCases(n, nb, workers, iters int) ([]caseResult, error) {
+	a, rhs := matrix.RandomSystem(n, 0x5eed)
+	opts := lu.Options{NB: nb, Workers: workers}
+
+	runFP64 := func() (float64, error) {
+		t0 := time.Now()
+		x, res, err := lu.Solve(a, rhs, opts, lu.Sequential)
+		sec := time.Since(t0).Seconds()
+		if err != nil {
+			return 0, err
+		}
+		if res >= matrix.ResidualThreshold {
+			return 0, fmt.Errorf("mxp fp64: residual %g failed", res)
+		}
+		_ = x
+		return sec, nil
+	}
+	runMixed := func() (float64, lu.MixedReport, error) {
+		t0 := time.Now()
+		_, res, rep, err := lu.SolveMixed(a, rhs, opts)
+		sec := time.Since(t0).Seconds()
+		if err != nil {
+			return 0, rep, err
+		}
+		if res >= matrix.ResidualThreshold {
+			return 0, rep, fmt.Errorf("mxp mixed: residual %g failed", res)
+		}
+		if rep.FellBack {
+			return 0, rep, fmt.Errorf("mxp mixed: fell back to FP64 (%s); the record must time the FP32 path", rep.Reason)
+		}
+		return sec, rep, nil
+	}
+
+	// Warmup both paths (pools, pack buffers, page faults).
+	if _, err := runFP64(); err != nil {
+		return nil, err
+	}
+	if _, _, err := runMixed(); err != nil {
+		return nil, err
+	}
+	var bestFP64, bestMixed float64
+	var bestRep lu.MixedReport
+	for i := 0; i < iters; i++ {
+		s, err := runFP64()
+		if err != nil {
+			return nil, err
+		}
+		if bestFP64 == 0 || s < bestFP64 {
+			bestFP64 = s
+		}
+		s, rep, err := runMixed()
+		if err != nil {
+			return nil, err
+		}
+		if bestMixed == 0 || s < bestMixed {
+			bestMixed, bestRep = s, rep
+		}
+	}
+	flops := perfmodel.LUFlops(n)
+	nsF, nsM := bestFP64*1e9, bestMixed*1e9
+	return []caseResult{
+		{Name: "MxP-fp64", N: n, NB: nb, NsPerOp: nsF, GFLOPS: flops / nsF,
+			Verdict: "PASSED"},
+		{Name: "MxP-mixed", N: n, NB: nb, NsPerOp: nsM, GFLOPS: flops / nsM,
+			Verdict: "PASSED", SpeedupVsFP64: bestFP64 / bestMixed,
+			RefineIters: bestRep.Iterations},
+	}, nil
 }
 
 // toCase converts a testing.BenchmarkResult into the output row.

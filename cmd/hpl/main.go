@@ -10,6 +10,7 @@
 //	                                           # real 2D solve, pipeline Gantt
 //	hpl -native -n 1024 -workers 4 -trace out.json -metrics
 //	                                           # real DAG solve, Chrome trace + metrics
+//	hpl -native -n 1024 -precision mixed       # HPL-MxP: FP32 factor + FP64 refinement
 //	hpl -n 960 -nb 64 -p 2 -q 2 -faults 'seed=7;drop=0.02;crash=3@2'
 //	                                           # fault-tolerant solve under injection
 //	hpl -n 84000 -cards 1 -mode pipelined      # hybrid projection
@@ -41,6 +42,7 @@ import (
 	"phihpl/internal/cluster"
 	"phihpl/internal/hpl"
 	"phihpl/internal/hplio"
+	"phihpl/internal/lu"
 	"phihpl/internal/metrics"
 	"phihpl/internal/pool"
 	"phihpl/internal/trace"
@@ -100,6 +102,7 @@ func main() {
 		mode    = flag.String("mode", "pipelined", "look-ahead for the hybrid projection: none | basic | pipelined")
 		lookStr = flag.String("lookahead", "pipelined", "stage schedule for real 2D solves (-real with -p/-q, -dat, -ft): none | basic | pipelined")
 		seed    = flag.Uint64("seed", 1, "matrix seed for -real/-native")
+		precStr = flag.String("precision", "fp64", "arithmetic for -native: fp64 | mixed (FP32 factorization + FP64 iterative refinement, same residual verdict)")
 
 		traceOut = flag.String("trace", "", "write Chrome trace-event JSON of the run to this file")
 		metricsF = flag.Bool("metrics", false, "print a metrics snapshot after the run")
@@ -133,6 +136,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(exitFailed)
 	}
+	precision, err := phihpl.ParsePrecisionMode(*precStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(exitFailed)
+	}
 
 	var rec *trace.Recorder
 	if *traceOut != "" {
@@ -149,6 +157,7 @@ func main() {
 		blas.SetObservability(nil, reg)
 		cluster.SetMetrics(reg)
 		hpl.SetMetrics(reg)
+		lu.SetMetrics(reg)
 	}
 
 	if *native {
@@ -157,7 +166,13 @@ func main() {
 			bs = 64
 		}
 		start := time.Now()
-		res, err := phihpl.SolveTracedContext(ctx, *n, phihpl.DynamicDAG, bs, *workers, *seed, rec)
+		var res phihpl.SolveResult
+		var err error
+		if precision == phihpl.PrecisionMixed {
+			res, err = phihpl.SolveMixedPrecisionCtx(ctx, *n, precision, bs, *workers, *seed, rec)
+		} else {
+			res, err = phihpl.SolveTracedContext(ctx, *n, phihpl.DynamicDAG, bs, *workers, *seed, rec)
+		}
 		elapsed := time.Since(start).Seconds()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -177,8 +192,20 @@ func main() {
 		if !res.Passed {
 			status = "FAILED"
 		}
-		fmt.Printf("N=%d NB=%d workers=%d sched=dynamic %.3fs %.2f GFLOPS\n",
-			*n, bs, *workers, elapsed, phihpl.LUFlops(*n)/elapsed/1e9)
+		sched := "dynamic"
+		if precision == phihpl.PrecisionMixed {
+			sched = "mixed"
+		}
+		fmt.Printf("N=%d NB=%d workers=%d sched=%s %.3fs %.2f GFLOPS\n",
+			*n, bs, *workers, sched, elapsed, phihpl.LUFlops(*n)/elapsed/1e9)
+		if rr := res.Refine; rr != nil {
+			if rr.FellBack {
+				fmt.Printf("precision=mixed refine-iters=%d fallback=%s (solved in FP64)\n",
+					rr.Iterations, rr.Reason)
+			} else {
+				fmt.Printf("precision=mixed refine-iters=%d fallback=none\n", rr.Iterations)
+			}
+		}
 		fmt.Printf("||Ax-b||_oo/(eps*(||A||_oo*||x||_oo+||b||_oo)*N) = %10.7f ...... %s\n",
 			res.Residual, status)
 		finishObservability(rec, *traceOut, *gantt, reg)

@@ -49,6 +49,25 @@ func SolveTracedContext(ctx context.Context, n int, sched Scheduler, nb, workers
 	return SolveResult{X: x, Residual: res, Passed: passed(res), N: n}, nil
 }
 
+// SolveMixedPrecisionCtx is SolveMixedPrecision under a context, observed
+// at the mixed solver's stage boundaries (before the FP32 factorization,
+// between refinement steps, and through the cancellable FP64 fallback).
+// A nil recorder disables tracing.
+func SolveMixedPrecisionCtx(ctx context.Context, n int, mode PrecisionMode, nb, workers int, seed uint64, rec *trace.Recorder) (SolveResult, error) {
+	if mode != PrecisionMixed {
+		return SolveTracedContext(ctx, n, Sequential, nb, workers, seed, rec)
+	}
+	if err := ctx.Err(); err != nil {
+		return SolveResult{}, err
+	}
+	a, b := matrix.RandomSystem(n, seed)
+	x, res, rep, err := lu.SolveMixedCtx(ctx, a, b, lu.Options{NB: nb, Workers: workers, Trace: rec})
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: x, Residual: res, Passed: passed(res), N: n, Refine: &rep}, nil
+}
+
 // SolveDistributedCtx is SolveDistributed under a context: every rank
 // observes cancellation at its stage boundary, the world unwinds cleanly,
 // and the plain ctx.Err() is returned once ctx is done.

@@ -119,6 +119,63 @@ func FuzzPackedGemm(f *testing.F) {
 	})
 }
 
+// FuzzSgemmPacked drives the single-precision pack → micro-kernel →
+// unpack chain (whichever micro-kernel the CPU selected) with arbitrary
+// shapes, scalars, seeds and worker counts and checks two invariants: the
+// result stays inside the 8·(k+2)·ulp32 forward-error envelope of a
+// float64 reference, and it is bitwise independent of the worker count.
+// Run with `go test -fuzz=FuzzSgemmPacked` for a deep hunt; plain
+// `go test` exercises the seed corpus plus testdata/fuzz regressions.
+func FuzzSgemmPacked(f *testing.F) {
+	f.Add(uint64(1), uint8(32), uint8(16), uint8(16), uint8(1), uint8(0), uint8(1))
+	f.Add(uint64(2), uint8(33), uint8(17), uint8(1), uint8(2), uint8(1), uint8(0))  // k = 1, partial tiles
+	f.Add(uint64(3), uint8(1), uint8(1), uint8(1), uint8(3), uint8(2), uint8(2))    // degenerate
+	f.Add(uint64(4), uint8(31), uint8(15), uint8(40), uint8(4), uint8(3), uint8(3)) // short edge tiles
+	f.Add(uint64(5), uint8(95), uint8(23), uint8(5), uint8(8), uint8(4), uint8(1))  // multiple tiles
+	alphas := []float32{-1, 1, 0.5, -2.25, 0}
+	betas := []float32{1, 0, -0.5, 2}
+	f.Fuzz(func(t *testing.T, seed uint64, mR, nR, kR, wR, aR, bR uint8) {
+		m := 1 + int(mR)%96
+		n := 1 + int(nR)%48
+		k := 1 + int(kR)%48
+		workers := 1 + int(wR)%8
+		alpha := alphas[int(aR)%len(alphas)]
+		beta := betas[int(bR)%len(betas)]
+
+		a := randomDense32(m, k, seed)
+		b := randomDense32(k, n, seed^0x9e3779b97f4a7c15)
+		c0 := randomDense32(m, n, seed^0xdeadbeef)
+
+		got := c0.Clone()
+		SgemmPacked(false, false, alpha, a, b, beta, got, workers)
+
+		// Envelope oracle against a float64 reference.
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				want := float64(beta) * float64(c0.At(i, j))
+				mag := math.Abs(want)
+				for p := 0; p < k; p++ {
+					prod := float64(alpha) * float64(a.At(i, p)) * float64(b.At(p, j))
+					want += prod
+					mag += math.Abs(prod)
+				}
+				bound := 8 * float64(k+2) * ulpEps32 * (mag + 1)
+				if d := math.Abs(float64(got.At(i, j)) - want); d > bound || math.IsNaN(d) {
+					t.Fatalf("C(%d,%d)=%v want %v (m=%d n=%d k=%d alpha=%v beta=%v workers=%d)",
+						i, j, got.At(i, j), want, m, n, k, alpha, beta, workers)
+				}
+			}
+		}
+
+		// Worker invariance: a different worker count must be bitwise equal.
+		again := c0.Clone()
+		SgemmPacked(false, false, alpha, a, b, beta, again, 1+workers%8)
+		if !equal32(got, again) {
+			t.Fatalf("result depends on worker count (m=%d n=%d k=%d)", m, n, k)
+		}
+	})
+}
+
 // FuzzLUSolve checks that whenever factorization succeeds, the solve
 // passes the HPL residual test.
 func FuzzLUSolve(f *testing.F) {

@@ -11,25 +11,34 @@ import (
 // to nil: the uninstrumented DgemmPacked pays one atomic pointer load and
 // a few nil-safe counter calls per invocation and allocates nothing.
 var (
-	obsTrace     atomic.Pointer[trace.Recorder]
-	mPackedCalls atomic.Pointer[metrics.Counter]
-	mBytesPacked atomic.Pointer[metrics.Counter]
-	mPackedFlops atomic.Pointer[metrics.Counter]
+	obsTrace      atomic.Pointer[trace.Recorder]
+	mPackedCalls  atomic.Pointer[metrics.Counter]
+	mBytesPacked  atomic.Pointer[metrics.Counter]
+	mPackedFlops  atomic.Pointer[metrics.Counter]
+	mSPackedCalls atomic.Pointer[metrics.Counter]
+	mSBytesPacked atomic.Pointer[metrics.Counter]
+	mSPackedFlops atomic.Pointer[metrics.Counter]
 )
 
 // SetObservability attaches a span recorder and a metrics registry to the
-// packed DGEMM fast path. Either may be nil to disable that side.
+// packed GEMM fast paths. Either may be nil to disable that side.
 //
 // Spans (on worker 0, iter = K-block index): "pack" covers the parallel
 // packing of one K-block's A strip and B tiles, "compute" the outer
 // product over the packed tiles — the two phases of Section III whose
-// ratio decides the PackedMinK crossover.
+// ratio decides the PackedMinK crossover. The single-precision path emits
+// the same pair as "spack"/"scompute".
 //
 // Counters: blas.packed_calls, blas.bytes_packed (bytes written into the
-// packing buffers), blas.packed_flops (2·m·n·k per call).
+// packing buffers), blas.packed_flops (2·m·n·k per call), and their
+// single-precision twins blas.spacked_calls, blas.sbytes_packed,
+// blas.spacked_flops.
 func SetObservability(rec *trace.Recorder, reg *metrics.Registry) {
 	obsTrace.Store(rec)
 	mPackedCalls.Store(reg.Counter("blas.packed_calls"))
 	mBytesPacked.Store(reg.Counter("blas.bytes_packed"))
 	mPackedFlops.Store(reg.Counter("blas.packed_flops"))
+	mSPackedCalls.Store(reg.Counter("blas.spacked_calls"))
+	mSBytesPacked.Store(reg.Counter("blas.sbytes_packed"))
+	mSPackedFlops.Store(reg.Counter("blas.spacked_flops"))
 }

@@ -1,0 +1,321 @@
+package blas
+
+import (
+	"phihpl/internal/matrix"
+)
+
+// Single-precision factorization kernels: the FP32 mirrors of Dgetf2,
+// Dlaswp, Dtrsm and Dgetrf, plus the cross-precision substitution that
+// iterative refinement runs against the FP32 factors. Together they are
+// the factorization half of the HPL-MxP scheme: factor in single
+// precision at SGEMM speed, then recover double-precision accuracy with
+// FP64 refinement (lu.SolveMixed).
+
+// minNormal32 is the smallest positive normal float32. A pivot below it
+// is degenerate: dividing by it overflows the multipliers, so the column
+// is treated exactly like a zero pivot (same policy as the FP64 path's
+// minNormal).
+const minNormal32 = 1.1754943508222875e-38
+
+// abs32 is float32 absolute value (sign-bit semantics are irrelevant
+// here: NaN compares false everywhere it is used, matching IdamaxCol).
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// IsamaxCol32 returns the row index (relative to the view) of the largest
+// absolute value in column j of a, scanning rows [i0, a.Rows).
+func IsamaxCol32(a *matrix.Dense32, j, i0 int) int {
+	if i0 >= a.Rows {
+		return -1
+	}
+	best, bestAbs := i0, abs32(a.At(i0, j))
+	for i := i0 + 1; i < a.Rows; i++ {
+		if v := abs32(a.At(i, j)); v > bestAbs {
+			best, bestAbs = i, v
+		}
+	}
+	return best
+}
+
+// SwapRows32 exchanges rows i and j of a (full width).
+func SwapRows32(a *matrix.Dense32, i, j int) {
+	if i == j {
+		return
+	}
+	ri, rj := a.Row(i), a.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Saxpy computes y += alpha*x in single precision.
+func Saxpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("blas: Saxpy length mismatch")
+	}
+	for i, xv := range x {
+		y[i] += alpha * xv
+	}
+}
+
+// Sscal scales v by alpha.
+func Sscal(alpha float32, v []float32) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Sgetf2 factors the m×n single-precision panel A = P·L·U with partial
+// pivoting using unblocked right-looking elimination, mirroring Dgetf2:
+// L unit lower below the diagonal, U on and above, piv[k] the row (>= k)
+// swapped into position k. Row swaps apply to the full width of the
+// supplied view. A zero/subnormal pivot skips its column and reports a
+// *SingularError (matching ErrSingular under errors.Is) — the FP32 and
+// FP64 paths share one singularity vocabulary.
+func Sgetf2(a *matrix.Dense32, piv []int) error {
+	m, n := a.Rows, a.Cols
+	mn := m
+	if n < mn {
+		mn = n
+	}
+	if len(piv) != mn {
+		panic("blas: Sgetf2 pivot slice has wrong length")
+	}
+	var err error
+	for k := 0; k < mn; k++ {
+		p := IsamaxCol32(a, k, k)
+		piv[k] = p
+		if pv := a.At(p, k); pv == 0 || abs32(pv) < minNormal32 {
+			if err == nil {
+				err = &SingularError{Col: k}
+			}
+			continue
+		}
+		SwapRows32(a, k, p)
+		akk := a.At(k, k)
+		for i := k + 1; i < m; i++ {
+			a.Set(i, k, a.At(i, k)/akk)
+		}
+		rowK := a.Row(k)
+		for i := k + 1; i < m; i++ {
+			lik := a.At(i, k)
+			if lik == 0 {
+				continue
+			}
+			rowI := a.Row(i)
+			for j := k + 1; j < n; j++ {
+				rowI[j] -= lik * rowK[j]
+			}
+		}
+	}
+	return err
+}
+
+// Slaswp applies the row interchanges recorded in piv (offset-relative,
+// as produced by Sgetf2) to the rows of a, mirroring Dlaswp.
+func Slaswp(a *matrix.Dense32, piv []int, offset int) {
+	for k, p := range piv {
+		if p != k {
+			SwapRows32(a, k+offset, p+offset)
+		}
+	}
+}
+
+// Strsm solves a single-precision triangular system in place, overwriting
+// B with the solution X, mirroring Dtrsm:
+//
+//	Left:  op(T)·X = alpha·B
+//	Right: X·op(T) = alpha·B
+//
+// T must be square and is referenced only in the triangle selected by
+// uplo; trans applies op(T)=Tᵀ. Divisions are true divides (reference-
+// BLAS semantics), matching the substitution loops bit for bit.
+func Strsm(side Side, uplo Uplo, trans bool, diag Diag, alpha float32, t, b *matrix.Dense32) {
+	if t.Rows != t.Cols {
+		panic("blas: Strsm triangular matrix must be square")
+	}
+	n := t.Rows
+	if (side == Left && b.Rows != n) || (side == Right && b.Cols != n) {
+		panic("blas: Strsm dimension mismatch")
+	}
+	if trans {
+		t = transpose32(t)
+		if uplo == Lower {
+			uplo = Upper
+		} else {
+			uplo = Lower
+		}
+	}
+	if alpha != 1 {
+		for i := 0; i < b.Rows; i++ {
+			Sscal(alpha, b.Row(i))
+		}
+	}
+	switch {
+	case side == Left && uplo == Lower:
+		for i := 0; i < n; i++ {
+			bi := b.Row(i)
+			ti := t.Row(i)
+			for k := 0; k < i; k++ {
+				if lik := ti[k]; lik != 0 {
+					Saxpy(-lik, b.Row(k), bi)
+				}
+			}
+			if diag == NonUnit {
+				div32(bi, ti[i])
+			}
+		}
+	case side == Left && uplo == Upper:
+		for i := n - 1; i >= 0; i-- {
+			bi := b.Row(i)
+			ti := t.Row(i)
+			for k := i + 1; k < n; k++ {
+				if uik := ti[k]; uik != 0 {
+					Saxpy(-uik, b.Row(k), bi)
+				}
+			}
+			if diag == NonUnit {
+				div32(bi, ti[i])
+			}
+		}
+	case side == Right && uplo == Upper:
+		for j := 0; j < n; j++ {
+			for i := 0; i < b.Rows; i++ {
+				bi := b.Row(i)
+				s := bi[j]
+				for k := 0; k < j; k++ {
+					s -= bi[k] * t.At(k, j)
+				}
+				if diag == NonUnit {
+					s /= t.At(j, j)
+				}
+				bi[j] = s
+			}
+		}
+	case side == Right && uplo == Lower:
+		for j := n - 1; j >= 0; j-- {
+			for i := 0; i < b.Rows; i++ {
+				bi := b.Row(i)
+				s := bi[j]
+				for k := j + 1; k < n; k++ {
+					s -= bi[k] * t.At(k, j)
+				}
+				if diag == NonUnit {
+					s /= t.At(j, j)
+				}
+				bi[j] = s
+			}
+		}
+	}
+}
+
+// div32 divides a row elementwise (a true divide, not a reciprocal
+// multiply, so solves match the substitution loops bit for bit).
+func div32(v []float32, d float32) {
+	for i := range v {
+		v[i] /= d
+	}
+}
+
+// Sgetrf computes the blocked right-looking single-precision LU
+// factorization with partial pivoting of the m×n (m>=n) matrix A in
+// place, with block size nb — the FP32 mirror of Dgetrf, with the
+// trailing update running through the packed SGEMM fast path
+// (SRankKUpdate) across `workers`. piv must have length min(m,n) and
+// records global row swaps. On a zero/subnormal pivot the factorization
+// continues (the column is skipped) and the first *SingularError is
+// returned, exactly like the FP64 driver.
+func Sgetrf(a *matrix.Dense32, piv []int, nb, workers int) error {
+	m, n := a.Rows, a.Cols
+	mn := m
+	if n < mn {
+		mn = n
+	}
+	if len(piv) != mn {
+		panic("blas: Sgetrf pivot slice has wrong length")
+	}
+	if nb < 1 {
+		nb = 64
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var firstErr error
+	for j := 0; j < mn; j += nb {
+		jb := nb
+		if j+jb > mn {
+			jb = mn - j
+		}
+		panel := a.View(j, j, m-j, jb)
+		localPiv := make([]int, jb)
+		if err := Sgetf2(panel, localPiv); err != nil && firstErr == nil {
+			firstErr = OffsetSingular(err, j)
+		}
+		for k, p := range localPiv {
+			piv[j+k] = p + j
+			if p != k {
+				if j > 0 {
+					SwapRows32(a.View(0, 0, m, j), j+k, j+p)
+				}
+				if j+jb < n {
+					SwapRows32(a.View(0, j+jb, m, n-j-jb), j+k, j+p)
+				}
+			}
+		}
+		if j+jb < n {
+			l11 := a.View(j, j, jb, jb)
+			u12 := a.View(j, j+jb, jb, n-j-jb)
+			Strsm(Left, Lower, false, Unit, 1, l11, u12)
+			if j+jb < m {
+				l21 := a.View(j+jb, j, m-j-jb, jb)
+				a22 := a.View(j+jb, j+jb, m-j-jb, n-j-jb)
+				SRankKUpdate(l21, u12, a22, workers)
+			}
+		}
+	}
+	return firstErr
+}
+
+// LUSolveMixed solves A·x = b in double precision against the
+// single-precision LU factors and pivots produced by Sgetrf: pivots are
+// applied to a copy of b, then forward (unit lower) and backward (upper)
+// substitution run with every factor entry widened to float64 (exact) and
+// all arithmetic in float64. This is the correction solve of FP64
+// iterative refinement — O(n²) double-precision work per step against
+// factors computed at FP32 speed.
+func LUSolveMixed(lu *matrix.Dense32, piv []int, b []float64) []float64 {
+	n := lu.Rows
+	if lu.Cols != n || len(b) != n || len(piv) != n {
+		panic("blas: LUSolveMixed dimension mismatch")
+	}
+	x := make([]float64, n)
+	copy(x, b)
+	for k, p := range piv {
+		if p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward: L·y = Pb.
+	for i := 0; i < n; i++ {
+		row := lu.Row(i)
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= float64(row[j]) * x[j]
+		}
+		x[i] = s
+	}
+	// Backward: U·x = y.
+	for i := n - 1; i >= 0; i-- {
+		row := lu.Row(i)
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= float64(row[j]) * x[j]
+		}
+		x[i] = s / float64(row[i])
+	}
+	return x
+}

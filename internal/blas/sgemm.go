@@ -1,18 +1,36 @@
 package blas
 
+import "phihpl/internal/matrix"
+
 // Sgemm computes C = alpha*A*B + beta*C in single precision over flat
 // row-major buffers: A is m×k with leading dimension lda, B is k×n with
 // ldb, C is m×n with ldc. The paper evaluates SGEMM alongside DGEMM in
-// Table II; the single-precision path exists so that the functional layer
-// can validate the SGEMM efficiency model against real numerics.
+// Table II; this routine is the always-available reference oracle for the
+// packed single-precision fast path (SgemmPacked).
+//
+// The accumulation is grouped by the same K-block boundaries as the
+// packed path (a function of k alone): each element's contribution from
+// one K-block is summed into a temporary in ascending p — every product
+// (alpha·a)·b performed unconditionally, so NaN and Inf propagate per
+// IEEE — and the block sum is added into C exactly once. With the scalar
+// micro-kernel active, SgemmPacked is bit-for-bit identical to this loop;
+// the fused vector kernel differs only in product rounding.
 func Sgemm(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
 	if lda < k || ldb < n || ldc < n {
 		panic("blas: Sgemm leading dimension too small")
 	}
-	if len(a) < (m-1)*lda+k || len(b) < (k-1)*ldb+n || len(c) < (m-1)*ldc+n {
-		if m > 0 && k > 0 && n > 0 {
-			panic("blas: Sgemm buffer too small")
-		}
+	// Degenerate-shape guard: each buffer is validated independently, so a
+	// zero-size dimension elsewhere cannot mask an undersized buffer that
+	// this call still touches (e.g. k == 0 with a short C, which the beta
+	// scaling below would overrun).
+	if m > 0 && k > 0 && len(a) < (m-1)*lda+k {
+		panic("blas: Sgemm buffer too small")
+	}
+	if k > 0 && n > 0 && len(b) < (k-1)*ldb+n {
+		panic("blas: Sgemm buffer too small")
+	}
+	if m > 0 && n > 0 && len(c) < (m-1)*ldc+n {
+		panic("blas: Sgemm buffer too small")
 	}
 	for i := 0; i < m; i++ {
 		ci := c[i*ldc : i*ldc+n]
@@ -25,19 +43,74 @@ func Sgemm(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb in
 				ci[j] *= beta
 			}
 		}
-		if alpha == 0 {
-			continue
-		}
+	}
+	if alpha == 0 || m == 0 || n == 0 || k == 0 {
+		return
+	}
+	tmp := make([]float32, n)
+	for i := 0; i < m; i++ {
 		ai := a[i*lda : i*lda+k]
-		for p := 0; p < k; p++ {
-			aip := alpha * ai[p]
-			if aip == 0 {
-				continue
+		ci := c[i*ldc : i*ldc+n]
+		for k0 := 0; k0 < k; k0 += packKC {
+			kb := k - k0
+			if kb > packKC {
+				kb = packKC
 			}
-			bp := b[p*ldb : p*ldb+n]
-			for j, bv := range bp {
-				ci[j] += aip * bv
+			for j := range tmp {
+				tmp[j] = 0
+			}
+			for p := k0; p < k0+kb; p++ {
+				aip := alpha * ai[p]
+				bp := b[p*ldb : p*ldb+n]
+				for j, bv := range bp {
+					tmp[j] += aip * bv
+				}
+			}
+			for j := range ci {
+				ci[j] += tmp[j]
 			}
 		}
 	}
+}
+
+// SgemmDense is Sgemm over matrix.Dense32 operands with op() transposes,
+// the shape-checked reference entry point mirroring Dgemm:
+// C = alpha*op(A)*op(B) + beta*C. Transposed operands are materialized
+// once; the arithmetic is exactly Sgemm's K-block-grouped loop.
+func SgemmDense(transA, transB bool, alpha float32, a, b *matrix.Dense32, beta float32, c *matrix.Dense32) {
+	m, k := opDims32(a, transA)
+	k2, n := opDims32(b, transB)
+	if k != k2 || c.Rows != m || c.Cols != n {
+		panic("blas: SgemmDense dimension mismatch")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if transA {
+		a = transpose32(a)
+	}
+	if transB {
+		b = transpose32(b)
+	}
+	Sgemm(m, n, k, alpha, a.Data, a.Stride, b.Data, b.Stride, beta, c.Data, c.Stride)
+}
+
+// opDims32 returns the dimensions of op(X).
+func opDims32(x *matrix.Dense32, trans bool) (r, c int) {
+	if trans {
+		return x.Cols, x.Rows
+	}
+	return x.Rows, x.Cols
+}
+
+// transpose32 returns a compact copy of xᵀ.
+func transpose32(x *matrix.Dense32) *matrix.Dense32 {
+	t := matrix.NewDense32(x.Cols, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for j, v := range row {
+			t.Set(j, i, v)
+		}
+	}
+	return t
 }

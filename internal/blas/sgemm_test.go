@@ -1,0 +1,105 @@
+package blas
+
+import (
+	"math"
+	"testing"
+
+	"phihpl/internal/matrix"
+)
+
+// mustPanicBufferTooSmall runs f and requires the typed Sgemm
+// buffer-too-small panic.
+func mustPanicBufferTooSmall(t *testing.T, tag string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s: expected buffer-too-small panic", tag)
+		}
+		if s, ok := r.(string); !ok || s != "blas: Sgemm buffer too small" {
+			t.Fatalf("%s: wrong panic %v", tag, r)
+		}
+	}()
+	f()
+}
+
+// TestSgemmDegenerateShapeGuard is the satellite-4 regression: the old
+// guard validated all three buffers only when m, k and n were all
+// positive, so k == 0 with an undersized C slipped past the check and the
+// beta scaling overran C. Each buffer must now be validated independently
+// whenever the call touches it.
+func TestSgemmDegenerateShapeGuard(t *testing.T) {
+	// k == 0 still scales C: an undersized C must panic, not overrun.
+	mustPanicBufferTooSmall(t, "k=0 short C", func() {
+		Sgemm(3, 4, 0, 1, nil, 0, nil, 4, 2, make([]float32, 5), 4)
+	})
+	// n == 0 with k > 0 still indexes nothing of b/c, but a is untouched
+	// too — no panic even with nil buffers.
+	Sgemm(3, 0, 2, 1, make([]float32, 6), 2, nil, 0, 1, nil, 0)
+	// m == 0: nothing is touched at all.
+	Sgemm(0, 4, 2, 1, nil, 2, make([]float32, 8), 4, 0, nil, 4)
+	// Undersized A and B still panic when their dimensions are live.
+	mustPanicBufferTooSmall(t, "short A", func() {
+		Sgemm(3, 2, 2, 1, make([]float32, 5), 2, make([]float32, 4), 2, 0, make([]float32, 6), 2)
+	})
+	mustPanicBufferTooSmall(t, "short B", func() {
+		Sgemm(3, 2, 2, 1, make([]float32, 6), 2, make([]float32, 3), 2, 0, make([]float32, 6), 2)
+	})
+}
+
+// TestSgemmZeroKScalesC: k == 0 is still a valid BLAS call — C = beta*C.
+func TestSgemmZeroKScalesC(t *testing.T) {
+	c := []float32{1, 2, 3, 4, 5, 6}
+	Sgemm(2, 3, 0, 1, nil, 0, nil, 3, 2, c, 3)
+	for i, want := range []float32{2, 4, 6, 8, 10, 12} {
+		if c[i] != want {
+			t.Fatalf("c[%d] = %v, want %v", i, c[i], want)
+		}
+	}
+	// beta == 0 stores exact zeros, clearing NaN.
+	c[1] = float32(math.NaN())
+	Sgemm(2, 3, 0, 1, nil, 0, nil, 3, 0, c, 3)
+	for i, v := range c {
+		if v != 0 {
+			t.Fatalf("c[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+// TestSgemmAlphaZeroDoesNotReadOperands: alpha == 0 must not read A or B
+// (NaN there must not reach C), matching the BLAS quick-return rule.
+func TestSgemmAlphaZeroDoesNotReadOperands(t *testing.T) {
+	nan := float32(math.NaN())
+	a := []float32{nan, nan, nan, nan}
+	b := []float32{nan, nan, nan, nan}
+	c := []float32{1, 2, 3, 4}
+	Sgemm(2, 2, 2, 0, a, 2, b, 2, 1, c, 2)
+	for i, want := range []float32{1, 2, 3, 4} {
+		if c[i] != want {
+			t.Fatalf("c[%d] = %v, want %v", i, c[i], want)
+		}
+	}
+}
+
+// TestSgemmNoZeroSkip: a zero element of A times NaN/Inf in B must
+// produce NaN — the reference loop performs every product unconditionally.
+func TestSgemmNoZeroSkip(t *testing.T) {
+	a := []float32{0, 0}                                      // 1×2 zero row
+	b := []float32{float32(math.NaN()), float32(math.Inf(1))} // 2×1
+	c := []float32{7}
+	Sgemm(1, 1, 2, 1, a, 2, b, 1, 0, c, 1)
+	if !math.IsNaN(float64(c[0])) {
+		t.Fatalf("c = %v, want NaN from 0·NaN + 0·Inf", c[0])
+	}
+}
+
+// TestSgemmDenseZeroDims: the Dense32 wrapper quick-returns on empty
+// shapes, including views with nil Data.
+func TestSgemmDenseZeroDims(t *testing.T) {
+	host := matrix.NewDense32(4, 4)
+	a := host.View(0, 0, 0, 3)
+	b := host.View(0, 0, 3, 0)
+	c := matrix.NewDense32(0, 0)
+	SgemmDense(false, false, 1, a, b, 0, c) // must not panic
+	SgemmDense(true, true, 1, b, a, 0, c)
+}

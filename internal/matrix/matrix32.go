@@ -1,0 +1,79 @@
+package matrix
+
+import "fmt"
+
+// Dense32 is a dense row-major matrix of float32, the storage type of the
+// mixed-precision factorization path: the FP32 factors hold half the
+// bytes of their FP64 counterparts, which is the memory-traffic half of
+// the paper's SGEMM advantage (Table II). Element (i,j) lives at
+// Data[i*Stride+j]; a Dense32 may be a view into a larger matrix.
+type Dense32 struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float32
+}
+
+// NewDense32 allocates a zeroed Rows×Cols single-precision matrix.
+func NewDense32(rows, cols int) *Dense32 {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimensions %dx%d", rows, cols))
+	}
+	return &Dense32{Rows: rows, Cols: cols, Stride: cols, Data: make([]float32, rows*cols)}
+}
+
+// At returns element (i,j).
+func (m *Dense32) At(i, j int) float32 { return m.Data[i*m.Stride+j] }
+
+// Set assigns element (i,j).
+func (m *Dense32) Set(i, j int, v float32) { m.Data[i*m.Stride+j] = v }
+
+// Row returns row i as a slice sharing storage (length Cols).
+func (m *Dense32) Row(i int) []float32 { return m.Data[i*m.Stride : i*m.Stride+m.Cols] }
+
+// View returns the r×c sub-matrix with upper-left corner (i,j), sharing
+// storage with m.
+func (m *Dense32) View(i, j, r, c int) *Dense32 {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.Rows || j+c > m.Cols {
+		panic(fmt.Sprintf("matrix: view (%d,%d,%d,%d) out of %dx%d", i, j, r, c, m.Rows, m.Cols))
+	}
+	if r == 0 || c == 0 {
+		return &Dense32{Rows: r, Cols: c, Stride: m.Stride}
+	}
+	off := i*m.Stride + j
+	return &Dense32{Rows: r, Cols: c, Stride: m.Stride, Data: m.Data[off : off+(r-1)*m.Stride+c]}
+}
+
+// Clone returns a compact (Stride==Cols) copy of m.
+func (m *Dense32) Clone() *Dense32 {
+	out := NewDense32(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		copy(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+// ToDense32 rounds m to single precision (round-to-nearest per element),
+// the demotion step that starts a mixed-precision solve.
+func (m *Dense) ToDense32() *Dense32 {
+	out := NewDense32(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src, dst := m.Row(i), out.Row(i)
+		for j, v := range src {
+			dst[j] = float32(v)
+		}
+	}
+	return out
+}
+
+// ToDense widens m to double precision (exact: every float32 is
+// representable in float64).
+func (m *Dense32) ToDense() *Dense {
+	out := NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src, dst := m.Row(i), out.Row(i)
+		for j, v := range src {
+			dst[j] = float64(v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDense32Basics(t *testing.T) {
+	m := NewDense32(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || m.Stride != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	m.Set(1, 2, 5.5)
+	if m.At(1, 2) != 5.5 || m.Data[1*4+2] != 5.5 {
+		t.Error("Set/At broken")
+	}
+	if r := m.Row(1); len(r) != 4 || r[2] != 5.5 {
+		t.Error("Row broken")
+	}
+	r := m.Row(0)
+	r[0] = 9
+	if m.At(0, 0) != 9 {
+		t.Error("Row must share storage")
+	}
+}
+
+func TestDense32NegativeDimsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDense32(-1, 2)
+}
+
+func TestDense32View(t *testing.T) {
+	m := NewDense32(5, 6)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 6; j++ {
+			m.Set(i, j, float32(10*i+j))
+		}
+	}
+	v := m.View(1, 2, 3, 3)
+	if v.Rows != 3 || v.Cols != 3 || v.Stride != 6 {
+		t.Fatalf("bad view: %+v", v)
+	}
+	if v.At(0, 0) != 12 || v.At(2, 2) != 34 {
+		t.Error("view offset wrong")
+	}
+	v.Set(0, 0, -1)
+	if m.At(1, 2) != -1 {
+		t.Error("view must share storage")
+	}
+	// Zero-dimension views carry the stride but no data.
+	z := m.View(2, 3, 0, 2)
+	if z.Rows != 0 || z.Cols != 2 || z.Data != nil {
+		t.Errorf("zero-row view: %+v", z)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected out-of-range view panic")
+		}
+	}()
+	m.View(4, 4, 2, 3)
+}
+
+func TestDense32Clone(t *testing.T) {
+	m := NewDense32(4, 5)
+	for i := range m.Data {
+		m.Data[i] = float32(i)
+	}
+	v := m.View(1, 1, 2, 3)
+	c := v.Clone()
+	if c.Stride != c.Cols {
+		t.Error("clone must be compact")
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if c.At(i, j) != v.At(i, j) {
+				t.Fatalf("clone (%d,%d) differs", i, j)
+			}
+		}
+	}
+	c.Set(0, 0, 99)
+	if v.At(0, 0) == 99 {
+		t.Error("clone must not share storage")
+	}
+}
+
+// TestToDense32Rounding: demotion rounds to nearest, widening is exact,
+// and the round trip float64 → float32 → float64 equals a direct cast.
+func TestToDense32Rounding(t *testing.T) {
+	vals := []float64{0, 1, -1.5, 1.0 / 3.0, 1e-41, 1e40, math.Pi, -2.2250738585072014e-308}
+	m := NewDense(2, 4)
+	copy(m.Data, vals)
+	m32 := m.ToDense32()
+	for i, v := range vals {
+		if got, want := m32.Data[i], float32(v); math.Float32bits(got) != math.Float32bits(want) {
+			t.Errorf("demote %v: got %v, want %v", v, got, want)
+		}
+	}
+	back := m32.ToDense()
+	for i := range vals {
+		if got, want := back.Data[i], float64(float32(vals[i])); got != want {
+			t.Errorf("widen %v: got %v, want %v", vals[i], got, want)
+		}
+	}
+	if back.Rows != m.Rows || back.Cols != m.Cols {
+		t.Error("round trip changed shape")
+	}
+}
+
+// TestToDense32Views: conversion respects views (reads Rows×Cols through
+// the stride, produces a compact result).
+func TestToDense32Views(t *testing.T) {
+	host := RandomGeneral(6, 6, 3)
+	v := host.View(1, 2, 3, 3)
+	m32 := v.ToDense32()
+	if m32.Rows != 3 || m32.Cols != 3 || m32.Stride != 3 {
+		t.Fatalf("bad converted shape: %+v", m32)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if m32.At(i, j) != float32(v.At(i, j)) {
+				t.Fatalf("(%d,%d) differs", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Single-precision 4×16 FMA micro-kernel block and the CPUID probes that
+// gate it. See kernel32_amd64.go for the calling contract.
+
+#include "textflag.h"
+
+// func sgemm4x16(a *float32, strideBytes int64, k int64, b *float32, dst *[64]float32)
+//
+// dst[i][j] = sum_p a[p*stride + i] * b[p*16 + j]   (i<4, j<16, fused)
+//
+// Register plan (AVX2): Y0..Y7 hold the 4×16 accumulator block (two
+// 8-lane halves per row), Y8..Y11 the four broadcast a values of the
+// current column, Y12/Y13 the 16-wide b row. One k step is 2 b loads,
+// 4 broadcasts and 8 FMAs = 128 fused flops.
+TEXT ·sgemm4x16(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), SI
+	MOVQ strideBytes+8(FP), AX
+	MOVQ k+16(FP), CX
+	MOVQ b+24(FP), BX
+	MOVQ dst+32(FP), DI
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+	TESTQ CX, CX
+	JE    store
+
+loop:
+	VMOVUPS      (BX), Y12
+	VMOVUPS      32(BX), Y13
+	VBROADCASTSS (SI), Y8
+	VBROADCASTSS 4(SI), Y9
+	VBROADCASTSS 8(SI), Y10
+	VBROADCASTSS 12(SI), Y11
+	VFMADD231PS  Y12, Y8, Y0
+	VFMADD231PS  Y13, Y8, Y1
+	VFMADD231PS  Y12, Y9, Y2
+	VFMADD231PS  Y13, Y9, Y3
+	VFMADD231PS  Y12, Y10, Y4
+	VFMADD231PS  Y13, Y10, Y5
+	VFMADD231PS  Y12, Y11, Y6
+	VFMADD231PS  Y13, Y11, Y7
+	ADDQ         AX, SI
+	ADDQ         $64, BX
+	DECQ         CX
+	JNE          loop
+
+store:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VMOVUPS Y2, 64(DI)
+	VMOVUPS Y3, 96(DI)
+	VMOVUPS Y4, 128(DI)
+	VMOVUPS Y5, 160(DI)
+	VMOVUPS Y6, 192(DI)
+	VMOVUPS Y7, 224(DI)
+	VZEROUPPER
+	RET
+
+// func cpuidLeaf(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidLeaf(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package pack
+
+// Non-amd64 platforms always use the portable scalar FP32 kernel.
+func haveAsmKernel32() bool { return false }
+
+// kernel32Block is never called when haveAsmKernel32 reports false.
+func kernel32Block(aTile []float32, tileM, k, r0 int, bTile []float32, acc *[64]float32) {
+	panic("pack: vector FP32 kernel unavailable on this platform")
+}

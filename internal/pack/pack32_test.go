@@ -30,8 +30,9 @@ func TestPackA32Layout(t *testing.T) {
 	if p.Tile(1)[2*30+5] != a[35*k+2] {
 		t.Error("layout violated")
 	}
-	// Default tile height.
-	if pack.PackA32(a, m, k, k, 0).TileM != pack.DefaultTileM {
+	// Default tile height: the FP32 tile is 32 rows (a multiple of the
+	// 4-row vector block), not the FP64 path's 30.
+	if pack.PackA32(a, m, k, k, 0).TileM != pack.DefaultTileM32 {
 		t.Error("default tileM")
 	}
 }

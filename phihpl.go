@@ -78,6 +78,9 @@ type SolveResult struct {
 	Seconds float64
 	// FT carries recovery statistics when the fault-tolerant driver ran.
 	FT *FTStats
+	// Refine reports the mixed-precision path (iteration count, typed
+	// fallback) when SolveMixedPrecision ran; nil for pure-FP64 solves.
+	Refine *RefineReport
 }
 
 // passed applies the HPL verdict: a non-finite residual (NaN from a
@@ -126,6 +129,64 @@ func SolveTraced(n int, sched Scheduler, nb, workers int, seed uint64, rec *trac
 		return SolveResult{}, err
 	}
 	return SolveResult{X: x, Residual: res, Passed: passed(res), N: n}, nil
+}
+
+// PrecisionMode selects the arithmetic of the shared-memory solve:
+// PrecisionFP64 is the classical all-double path, PrecisionMixed is the
+// HPL-MxP scheme — FP32 factorization through the packed SGEMM fast path,
+// then FP64 iterative refinement, with automatic fallback to FP64 when
+// the matrix is beyond single precision's reach.
+type PrecisionMode = lu.PrecisionMode
+
+// Precision modes for SolveMixedPrecision.
+const (
+	PrecisionFP64  = lu.PrecisionFP64
+	PrecisionMixed = lu.PrecisionMixed
+)
+
+// ParsePrecisionMode parses "fp64" or "mixed".
+func ParsePrecisionMode(s string) (PrecisionMode, error) { return lu.ParsePrecisionMode(s) }
+
+// RefineReport describes a mixed-precision solve: refinement iterations,
+// final scaled residual, and the typed reason when the solver abandoned
+// the FP32 factors for the FP64 path.
+type RefineReport = lu.MixedReport
+
+// FallbackReason says why a mixed solve fell back to FP64.
+type FallbackReason = lu.FallbackReason
+
+// Fallback reasons carried in RefineReport.Reason.
+const (
+	FallbackNone      = lu.FallbackNone
+	FallbackSingular  = lu.FallbackSingular
+	FallbackStalled   = lu.FallbackStalled
+	FallbackNonFinite = lu.FallbackNonFinite
+)
+
+// SolveMixedPrecision generates the seeded random system of order n and
+// solves it in the selected precision: PrecisionFP64 routes to the
+// blocked FP64 driver, PrecisionMixed factors in FP32 and refines in FP64
+// (Result.Refine carries the iteration count and any fallback). Either
+// way the result is held to the same HPL residual verdict — a mixed solve
+// never trades accuracy for its speed.
+func SolveMixedPrecision(n int, mode PrecisionMode, nb, workers int, seed uint64) (SolveResult, error) {
+	return SolveMixedPrecisionTraced(n, mode, nb, workers, seed, nil)
+}
+
+// SolveMixedPrecisionTraced is SolveMixedPrecision with a span recorder:
+// the mixed path emits "SFactor" for the FP32 factorization, one "Refine"
+// span per correction solve, and "FP64Fallback" when it re-solves in
+// double precision.
+func SolveMixedPrecisionTraced(n int, mode PrecisionMode, nb, workers int, seed uint64, rec *trace.Recorder) (SolveResult, error) {
+	if mode != PrecisionMixed {
+		return SolveTraced(n, Sequential, nb, workers, seed, rec)
+	}
+	a, b := matrix.RandomSystem(n, seed)
+	x, res, rep, err := lu.SolveMixed(a, b, lu.Options{NB: nb, Workers: workers, Trace: rec})
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: x, Residual: res, Passed: passed(res), N: n, Refine: &rep}, nil
 }
 
 // SolveDistributed runs the functional distributed Linpack on `ranks`

@@ -29,6 +29,42 @@ func TestSolveAllSchedulers(t *testing.T) {
 	}
 }
 
+func TestSolveMixedPrecisionFacade(t *testing.T) {
+	mixed, err := SolveMixedPrecision(160, PrecisionMixed, 32, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mixed.Passed {
+		t.Errorf("mixed residual %g fails the verdict", mixed.Residual)
+	}
+	if mixed.Refine == nil {
+		t.Fatal("mixed solve must carry a refinement report")
+	}
+	if mixed.Refine.FellBack || mixed.Refine.Reason != FallbackNone {
+		t.Errorf("well-conditioned system fell back: %v", mixed.Refine.Reason)
+	}
+	if mixed.Refine.Iterations < 1 {
+		t.Error("expected at least one refinement iteration")
+	}
+
+	// fp64 mode routes to the classical path: no report, same verdict.
+	plain, err := SolveMixedPrecision(160, PrecisionFP64, 32, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Passed || plain.Refine != nil {
+		t.Errorf("fp64 mode: passed=%v refine=%v", plain.Passed, plain.Refine)
+	}
+
+	// Round-trippable flag vocabulary at the facade.
+	for _, s := range []string{"fp64", "mixed"} {
+		m, err := ParsePrecisionMode(s)
+		if err != nil || m.String() != s {
+			t.Errorf("ParsePrecisionMode(%q) = %v, %v", s, m, err)
+		}
+	}
+}
+
 func TestSolveDistributedFacade(t *testing.T) {
 	res, err := SolveDistributed(90, 16, 3, 5)
 	if err != nil {
