@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench benchjson fuzz check clean
+.PHONY: all build test vet race bench benchjson fuzz smoke check clean
 
 all: vet test
 
@@ -30,10 +30,16 @@ vet:
 # fault-path packages (message fabric + fault-tolerant distributed
 # solver), the observability layer they all feed (span recorder +
 # metrics registry), the matrix containers (FP64 and FP32) the kernels
-# share, and the facade package that drives the mixed-precision solve.
+# share, the facade package that drives the mixed-precision solve, and
+# the multi-tenant solve server (queue, scheduler, cache, drain).
 race:
 	$(GO) vet ./...
-	$(GO) test -race -timeout 10m . ./internal/matrix/... ./internal/blas/... ./internal/pool/... ./internal/pack/... ./internal/lu/... ./internal/offload/... ./internal/cluster/... ./internal/hpl/... ./internal/fault/... ./internal/trace/... ./internal/metrics/...
+	$(GO) test -race -timeout 10m . ./internal/matrix/... ./internal/blas/... ./internal/pool/... ./internal/pack/... ./internal/lu/... ./internal/offload/... ./internal/cluster/... ./internal/hpl/... ./internal/fault/... ./internal/trace/... ./internal/metrics/... ./internal/server/...
+
+# smoke: end-to-end hplserver check — start the server, run an FP64 and
+# a mixed-precision solve over HTTP, SIGTERM, require a clean exit 0.
+smoke:
+	sh scripts/smoke_hplserver.sh
 
 # bench: the packed-path vs reference comparison (GFLOPS + steady-state
 # allocation counts).

@@ -55,7 +55,26 @@ const (
 	exitFailed   = 1 // solve completed but failed the residual check (or other error)
 	exitAborted  = 2 // cancelled by -timeout, SIGINT or SIGTERM
 	exitRankFail = 3 // rank crash, contained worker panic, or unrecoverable fault
+
+	// exitUnsupported shares code 3: the run never started because the
+	// flag combination names a path the solver stack does not implement
+	// (today: -precision mixed outside -native). Distinct from exitFailed
+	// so harnesses can tell "your request is unsupported" from "your
+	// matrix failed".
+	exitUnsupported = 3
 )
+
+// mixedUnsupportedMsg returns a non-empty diagnostic when -precision
+// mixed is combined with a path that would silently run FP64: only the
+// -native shared-memory solve carries the HPL-MxP precision ladder today.
+func mixedUnsupportedMsg(native bool, precision phihpl.PrecisionMode) string {
+	if precision != phihpl.PrecisionMixed || native {
+		return ""
+	}
+	return "-precision mixed is only supported with -native (the shared-memory HPL-MxP solve); " +
+		"the distributed (-real, -ranks, -dat), fault-tolerant (-faults, -ft) and hybrid-projection " +
+		"paths factor in FP64 only — rerun with -native, or drop -precision mixed"
+}
 
 // exitCode classifies a solve error into the documented exit codes.
 func exitCode(err error) int {
@@ -140,6 +159,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(exitFailed)
+	}
+	// Refuse, loudly and with a distinct exit code, rather than silently
+	// falling back to FP64 on paths the mixed ladder does not cover yet.
+	if msg := mixedUnsupportedMsg(*native, precision); msg != "" {
+		fmt.Fprintln(os.Stderr, "error:", msg)
+		os.Exit(exitUnsupported)
 	}
 
 	var rec *trace.Recorder

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"phihpl"
+)
+
+// TestMixedUnsupportedGuard locks the -precision mixed flag contract:
+// every non-native path refuses with a diagnostic (exit code 3 in main)
+// instead of silently running FP64, and the native path stays silent.
+func TestMixedUnsupportedGuard(t *testing.T) {
+	if msg := mixedUnsupportedMsg(true, phihpl.PrecisionMixed); msg != "" {
+		t.Errorf("-native -precision mixed must be accepted, got %q", msg)
+	}
+	if msg := mixedUnsupportedMsg(false, phihpl.PrecisionFP64); msg != "" {
+		t.Errorf("fp64 on any path must be accepted, got %q", msg)
+	}
+	msg := mixedUnsupportedMsg(false, phihpl.PrecisionMixed)
+	if msg == "" {
+		t.Fatal("-precision mixed without -native must be refused")
+	}
+	for _, want := range []string{"-native", "FP64", "mixed"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic %q should mention %q", msg, want)
+		}
+	}
+	if exitUnsupported != 3 {
+		t.Errorf("exitUnsupported = %d, want the documented code 3", exitUnsupported)
+	}
+}

@@ -1,0 +1,139 @@
+// Command hplserver runs HPL-as-a-service: a long-running, multi-tenant
+// solve server over the cancellable phihpl stack.
+//
+//	hplserver -addr :8080 -queue 64 -concurrency 2 -tenant-cap 2
+//
+// Submit and watch jobs:
+//
+//	curl -s -XPOST localhost:8080/v1/solve -H 'X-Tenant: alice' \
+//	     -d '{"mode":"native","n":512,"nb":64,"workers":4}'
+//	curl -s localhost:8080/v1/jobs/j-1
+//	curl -sN localhost:8080/v1/jobs/j-1/stream
+//	curl -s localhost:8080/metrics?format=text
+//
+// Robustness contract (DESIGN.md §11): a full queue answers 429 +
+// Retry-After; invalid requests get typed 400s; every job runs under a
+// server-enforced deadline with per-job panic isolation and transient-
+// error retries; SIGTERM/SIGINT drains gracefully — admission stops,
+// /readyz flips to 503, queued jobs abort, running jobs get the drain
+// deadline to finish, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"phihpl/internal/blas"
+	"phihpl/internal/cluster"
+	"phihpl/internal/hpl"
+	"phihpl/internal/lu"
+	"phihpl/internal/metrics"
+	"phihpl/internal/pool"
+	"phihpl/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		queue       = flag.Int("queue", 64, "bounded queue depth across tenants (full queue => 429)")
+		concurrency = flag.Int("concurrency", 2, "scheduler workers = max concurrently running jobs")
+		tenantCap   = flag.Int("tenant-cap", 0, "max concurrently running jobs per tenant (0 = concurrency/2)")
+		weights     = flag.String("tenant-weights", "", "weighted round-robin dequeue weights, e.g. 'alice=3,bob=1'")
+		maxN        = flag.Int("max-n", 4096, "largest accepted problem size")
+		maxGrid     = flag.Int("max-grid", 16, "largest accepted P*Q process grid")
+		memBudget   = flag.Int("mem-budget-mib", 4096, "running-jobs matrix-footprint budget (MiB); jobs queue rather than OOM")
+		jobTimeout  = flag.Duration("job-timeout", time.Minute, "default per-job deadline")
+		maxTimeout  = flag.Duration("max-job-timeout", 5*time.Minute, "ceiling on any per-job deadline")
+		retries     = flag.Int("retries", 2, "default transient-error retry budget per job")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT before in-flight jobs are cancelled")
+	)
+	flag.Parse()
+
+	tw, err := parseWeights(*weights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	// One registry feeds /metrics from every layer the jobs touch: the
+	// worker pool, the packed BLAS, the cluster fabric, the LU drivers and
+	// the server's own admission/fairness/cache counters.
+	reg := metrics.NewRegistry()
+	pool.SetObservability(nil, reg)
+	blas.SetObservability(nil, reg)
+	cluster.SetMetrics(reg)
+	hpl.SetMetrics(reg)
+	lu.SetMetrics(reg)
+
+	srv := server.New(server.Config{
+		QueueDepth:     *queue,
+		Concurrency:    *concurrency,
+		TenantCap:      *tenantCap,
+		TenantWeights:  tw,
+		MaxN:           *maxN,
+		MaxGrid:        *maxGrid,
+		MemBudget:      int64(*memBudget) << 20,
+		DefaultTimeout: *jobTimeout,
+		MaxTimeout:     *maxTimeout,
+		DefaultRetries: *retries,
+		Metrics:        reg,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("serve: %v", err)
+		}
+	}()
+	log.Printf("hplserver listening on %s (queue=%d concurrency=%d)", ln.Addr(), *queue, *concurrency)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("received %s: draining (budget %s)", got, *drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	_ = httpSrv.Shutdown(shutCtx)
+	log.Printf("drained; exiting 0")
+}
+
+// parseWeights parses "a=3,b=1" into a weight map.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("tenant-weights: %q is not tenant=weight", part)
+		}
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("tenant-weights: %q must have a positive integer weight", part)
+		}
+		out[k] = w
+	}
+	return out, nil
+}

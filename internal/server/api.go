@@ -1,0 +1,175 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/solve            submit a job (202; 200 on a completed cache hit)
+//	GET  /v1/jobs             list retained jobs
+//	GET  /v1/jobs/{id}        job status + result
+//	GET  /v1/jobs/{id}/stream server-sent progress events until terminal
+//	GET  /metrics             metrics snapshot (JSON; ?format=text for humans)
+//	GET  /healthz             process liveness (200 while the server runs)
+//	GET  /readyz              admission readiness (503 once draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Ready() {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	})
+	return mux
+}
+
+// errorBody is the JSON shape of every rejected submission: the terminal
+// state REJECTED plus a typed error, so harness accounting sees exactly
+// one terminal state per submission whether or not a job was created.
+type errorBody struct {
+	State State      `json:"state"` // always REJECTED
+	Error *ErrorInfo `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeAPIError(w http.ResponseWriter, ae *apiError) {
+	if ae.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+	}
+	msg := ae.msg
+	if ae.field != "" {
+		msg = fmt.Sprintf("field %q: %s", ae.field, ae.msg)
+	}
+	writeJSON(w, ae.status, errorBody{
+		State: StateRejected,
+		Error: &ErrorInfo{Kind: ae.code, Message: msg},
+	})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var js JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&js); err != nil {
+		s.mRejectedInvalid.Inc()
+		writeAPIError(w, &apiError{status: 400, code: "bad_body", msg: "invalid JSON body: " + err.Error()})
+		return
+	}
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		js.Tenant = t
+	}
+	j, ae := s.Submit(js)
+	if ae != nil {
+		writeAPIError(w, ae)
+		return
+	}
+	status := http.StatusAccepted
+	if j.currentState().Terminal() {
+		status = http.StatusOK // exact cache hit, already complete
+	}
+	writeJSON(w, status, j.view())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeAPIError(w, &apiError{status: 404, code: "not_found",
+			msg: fmt.Sprintf("no job %q (terminal records are retained up to a cap)", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleStream serves the job's lifecycle as server-sent events: the
+// recorded history first, then live state/retry events interleaved with
+// periodic progress samples (span count + elapsed), ending with the
+// terminal "done" event.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeAPIError(w, &apiError{status: 404, code: "not_found", msg: "no such job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeAPIError(w, &apiError{status: 500, code: "internal", msg: "response writer cannot stream"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	past, ch, cancel := j.subscribe()
+	defer cancel()
+	for _, e := range past {
+		writeEvent(w, e)
+		if e.Type == "done" {
+			fl.Flush()
+			return
+		}
+	}
+	fl.Flush()
+
+	tick := time.NewTicker(s.cfg.StreamInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case e := <-ch:
+			writeEvent(w, e)
+			fl.Flush()
+			if e.Type == "done" {
+				return
+			}
+		case <-tick.C:
+			if j.currentState() == StateRunning {
+				writeEvent(w, j.progressEvent())
+				fl.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeEvent(w http.ResponseWriter, e Event) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, b)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.reg.WriteText(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.reg.WriteJSON(w)
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"phihpl"
+	"phihpl/internal/cluster"
+	"phihpl/internal/pool"
+)
+
+// BadRequestError is a typed 4xx validation failure: the offending field
+// and a machine-readable code ("invalid" for out-of-range values,
+// "unsupported" for well-formed combinations the solver stack does not
+// implement yet — the server-side mirror of cmd/hpl's exit code 3).
+type BadRequestError struct {
+	Field string
+	Code  string // "invalid" | "unsupported"
+	Msg   string
+}
+
+func (e *BadRequestError) Error() string {
+	return fmt.Sprintf("bad request: field %q: %s", e.Field, e.Msg)
+}
+
+func badField(field, format string, args ...any) *BadRequestError {
+	return &BadRequestError{Field: field, Code: "invalid", Msg: fmt.Sprintf(format, args...)}
+}
+
+// PanicInfo is the JSON projection of a contained *pool.PanicError. Value
+// and Stack are carried verbatim (Value via fmt.Sprint) so a panic
+// observed by a client is byte-identical to what the recover barrier saw —
+// the regression test in panic_regress_test.go holds this invariant.
+type PanicInfo struct {
+	Worker int    `json:"worker"`
+	Value  string `json:"value"`
+	Stack  string `json:"stack"`
+}
+
+// FaultInfo summarizes an unrecoverable fault-tolerant run.
+type FaultInfo struct {
+	Iter     int `json:"iter"`
+	Restarts int `json:"restarts"`
+}
+
+// ErrorInfo is the error contract of the job API: every failed or aborted
+// job carries exactly one, with Kind drawn from a closed set so harnesses
+// can switch on it without parsing messages.
+type ErrorInfo struct {
+	Kind      string     `json:"kind"` // residual | aborted | timeout | rank_failed | panic | singular | fault | checksum | internal
+	Message   string     `json:"message"`
+	Transient bool       `json:"transient,omitempty"` // the retry policy would retry this
+	Column    *int       `json:"column,omitempty"`    // singular: first bad global column
+	Panic     *PanicInfo `json:"panic,omitempty"`
+	Fault     *FaultInfo `json:"fault,omitempty"`
+}
+
+// transientErr reports whether err is a typed transient failure worth a
+// retry: operation timeouts and rank failures from the lossy fabric (both
+// reachable through a *FaultError wrap via errors.Is). Cancellation,
+// panics and singular matrices are deterministic — retrying burns budget
+// for the same answer.
+func transientErr(err error) bool {
+	return errors.Is(err, phihpl.ErrTimeout) || errors.Is(err, phihpl.ErrRankFailed)
+}
+
+// encodeError classifies err into the API error contract. A nil err
+// returns nil.
+func encodeError(err error) *ErrorInfo {
+	if err == nil {
+		return nil
+	}
+	info := &ErrorInfo{Kind: "internal", Message: err.Error(), Transient: transientErr(err)}
+	var pe *pool.PanicError
+	var rpe *cluster.RankPanicError
+	var se *phihpl.SingularError
+	var fe *phihpl.FaultError
+	switch {
+	case errors.As(err, &pe):
+		info.Kind = "panic"
+		info.Panic = &PanicInfo{Worker: pe.Worker, Value: fmt.Sprint(pe.Value), Stack: pe.Stack}
+	case errors.As(err, &rpe):
+		info.Kind = "panic"
+		info.Panic = &PanicInfo{Worker: rpe.Rank, Value: fmt.Sprint(rpe.Value), Stack: rpe.Stack}
+	case errors.As(err, &se):
+		info.Kind = "singular"
+		col := se.Col
+		info.Column = &col
+	case errors.As(err, &fe):
+		info.Kind = "fault"
+		info.Fault = &FaultInfo{Iter: fe.Iter, Restarts: fe.Restarts}
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		info.Kind = "aborted"
+	case errors.Is(err, phihpl.ErrTimeout):
+		info.Kind = "timeout"
+	case errors.Is(err, phihpl.ErrRankFailed):
+		info.Kind = "rank_failed"
+	case errors.Is(err, phihpl.ErrChecksum):
+		info.Kind = "checksum"
+	}
+	return info
+}
+
+// apiError is an HTTP-level rejection (the submission never became a job).
+type apiError struct {
+	status     int
+	code       string // queue_full | draining | invalid | unsupported | not_found | bad_body
+	field      string
+	msg        string
+	retryAfter int // seconds; >0 adds a Retry-After header
+}
+
+func (e *apiError) Error() string { return e.msg }

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"phihpl"
+	"phihpl/internal/metrics"
+	"phihpl/internal/testutil"
+	"phihpl/internal/trace"
+)
+
+// TestSoak is the acceptance scenario of ISSUE 7: ≥200 jobs from 4
+// tenants against a queue of depth 16 — real solves in every mode,
+// invalid requests, a panicking job, fault-injected jobs, duplicate
+// cacheable jobs, and a deliberate overflow burst. The server must not
+// crash, must leave every submission in exactly one terminal state
+// (PASSED/FAILED/ABORTED/REJECTED), must expose cache and 429 counters
+// in /metrics, and must drain within the deadline with zero goroutine
+// leaks.
+func TestSoak(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+
+	const (
+		tenants       = 4
+		perTenant     = 50
+		burst         = 40
+		panicSeed     = 999
+		slowSeed      = 777
+		drainDeadline = 10 * time.Second
+	)
+
+	cfg := Config{
+		QueueDepth:     16,
+		Concurrency:    4,
+		TenantCap:      2,
+		TenantWeights:  map[string]int{"t0": 2, "t1": 1, "t2": 1, "t3": 1},
+		MaxN:           512,
+		DefaultRetries: 1,
+		MaxRetries:     5,
+		RetryBase:      time.Millisecond,
+		DefaultTimeout: 60 * time.Second,
+		StreamInterval: 20 * time.Millisecond,
+		Metrics:        metrics.NewRegistry(),
+	}
+	// Chaos wrapper around the real facade dispatch: one seed panics, one
+	// seed simulates a slow solve (to build queue pressure for the 429
+	// burst); everything else runs the genuine solver stack.
+	cfg.Runner = func(ctx context.Context, sp Spec, rec *trace.Recorder) (phihpl.SolveResult, error) {
+		switch sp.Seed {
+		case panicSeed:
+			panic("soak: deliberate panic job")
+		case slowSeed:
+			select {
+			case <-time.After(25 * time.Millisecond):
+			case <-ctx.Done():
+				return phihpl.SolveResult{}, ctx.Err()
+			}
+			return phihpl.SolveResult{N: sp.N, Passed: true, Residual: 1e-3}, nil
+		}
+		return DefaultRunner(ctx, sp, rec)
+	}
+	s := New(cfg)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type outcome struct {
+		id       string // "" when rejected
+		rejected bool
+	}
+	var mu sync.Mutex
+	var outcomes []outcome
+	var rejected429 int
+
+	submit := func(tenant, body string) {
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/solve", strings.NewReader(body))
+		req.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Errorf("submit: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK:
+			var jv JobView
+			if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+				t.Errorf("decode job: %v", err)
+				return
+			}
+			outcomes = append(outcomes, outcome{id: jv.ID})
+		case resp.StatusCode >= 400:
+			var eb errorBody
+			if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				t.Errorf("decode rejection: %v", err)
+				return
+			}
+			if eb.State != StateRejected {
+				t.Errorf("rejection body state = %q, want REJECTED", eb.State)
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				rejected429++
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After")
+				}
+			}
+			outcomes = append(outcomes, outcome{rejected: true})
+		default:
+			t.Errorf("unexpected status %d", resp.StatusCode)
+		}
+	}
+
+	// settle waits for every admitted job in outcomes[from:] to reach a
+	// terminal state and asserts the state is stable ("exactly one").
+	terminal := map[State]int{}
+	settle := func(from int) {
+		deadline := time.Now().Add(120 * time.Second)
+		for _, o := range outcomes[from:] {
+			if o.rejected {
+				terminal[StateRejected]++
+				continue
+			}
+			j, ok := s.Job(o.id)
+			if !ok {
+				t.Fatalf("job %s vanished before terminal", o.id)
+			}
+			select {
+			case <-j.done:
+			case <-time.After(time.Until(deadline)):
+				t.Fatalf("job %s stuck in %s", o.id, j.currentState())
+			}
+			st := j.currentState()
+			if !st.Terminal() {
+				t.Fatalf("job %s done-signalled in non-terminal state %s", o.id, st)
+			}
+			terminal[st]++
+			if again := j.currentState(); again != st {
+				t.Fatalf("job %s changed terminal state %s -> %s", o.id, st, again)
+			}
+		}
+	}
+
+	// Phase 1: four tenants submit a mixed workload concurrently.
+	var wg sync.WaitGroup
+	for tn := 0; tn < tenants; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", tn)
+			for i := 0; i < perTenant; i++ {
+				var body string
+				switch i % 7 {
+				case 0: // invalid requests of several typed kinds
+					switch i % 3 {
+					case 0:
+						body = `{"mode":"nope","n":64}`
+					case 1:
+						body = `{"n":-5}`
+					default:
+						body = `{"mode":"dist2d","n":64,"precision":"mixed"}`
+					}
+				case 1: // duplicate cacheable jobs (seeds 1..3 shared by all tenants)
+					body = fmt.Sprintf(`{"mode":"native","n":48,"nb":16,"workers":2,"seed":%d}`, 1+i%3)
+				case 2: // real 2D distributed solves
+					body = fmt.Sprintf(`{"mode":"dist2d","n":32,"nb":16,"p":2,"q":2,"seed":%d}`, 10+i)
+				case 3: // fault-injected FT solves (recoverable loss + corruption)
+					body = fmt.Sprintf(`{"mode":"ft","n":32,"nb":16,"p":2,"q":2,"seed":%d,"faults":"seed=%d;drop=0.05;corrupt=0.02"}`, 20+i, i+1)
+				case 4: // unique native solves
+					body = fmt.Sprintf(`{"mode":"native","n":48,"nb":16,"workers":2,"seed":%d}`, 1000*(tn+1)+i)
+				case 5: // mixed-precision solves
+					body = fmt.Sprintf(`{"mode":"native","n":64,"nb":16,"workers":2,"seed":%d,"precision":"mixed"}`, 5+i%2)
+				default: // slow dummy jobs to keep the queue under pressure
+					body = fmt.Sprintf(`{"mode":"native","n":64,"seed":%d,"nb":%d}`, slowSeed, 16+i)
+				}
+				submit(tenant, body)
+			}
+		}(tn)
+	}
+	wg.Wait()
+	settle(0)
+	phase1 := len(outcomes)
+
+	// Phase 2: with the queue now idle, the deliberate panic job is
+	// guaranteed admission, then a same-instant overflow burst
+	// (back-to-back slow jobs far beyond depth 16 ⇒ guaranteed 429s).
+	submit("t3", fmt.Sprintf(`{"mode":"native","n":64,"seed":%d}`, panicSeed))
+	for i := 0; i < burst; i++ {
+		submit("t2", fmt.Sprintf(`{"mode":"native","n":64,"seed":%d,"nb":%d}`, slowSeed, 100+i))
+	}
+	settle(phase1)
+
+	total := tenants*perTenant + 1 + burst
+	if len(outcomes) != total {
+		t.Fatalf("accounting lost submissions: %d recorded, %d made", len(outcomes), total)
+	}
+	t.Logf("terminal states: %+v (429s observed by clients: %d)", terminal, rejected429)
+	if sum := terminal[StatePassed] + terminal[StateFailed] + terminal[StateAborted] + terminal[StateRejected]; sum != total {
+		t.Errorf("terminal accounting %d != submissions %d", sum, total)
+	}
+	if terminal[StatePassed] == 0 {
+		t.Error("soak produced no PASSED jobs")
+	}
+	if terminal[StateRejected] == 0 {
+		t.Error("soak produced no REJECTED submissions")
+	}
+
+	// The overload and cache paths actually fired, and are visible in
+	// /metrics as the acceptance criteria require.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap metrics.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["server.rejected_queue_full"] < 1 {
+		t.Errorf("rejected_queue_full = %d, want >= 1 (burst of %d vs depth 16)",
+			snap.Counters["server.rejected_queue_full"], burst)
+	}
+	if hits := snap.Counters["server.cache_hits"] + snap.Counters["server.cache_inflight_joins"]; hits < 1 {
+		t.Errorf("cache hit/join counters = %d, want >= 1 (duplicate seeds were submitted)", hits)
+	}
+	if snap.Counters["server.contained_panics"] < 1 {
+		t.Error("contained_panics = 0, want >= 1 (the panic job)")
+	}
+	if snap.Counters["server.rejected_invalid"] < 1 {
+		t.Error("rejected_invalid = 0, want >= 1")
+	}
+	for _, tenant := range []string{"t0", "t1", "t2", "t3"} {
+		if snap.Counters["server.tenant."+tenant+".submitted"] < 1 {
+			t.Errorf("per-tenant counter missing for %s", tenant)
+		}
+	}
+
+	// Graceful drain finishes within its deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), drainDeadline)
+	defer cancel()
+	start := time.Now()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if d := time.Since(start); d > drainDeadline+5*time.Second {
+		t.Errorf("drain took %s, deadline was %s", d, drainDeadline)
+	}
+	if s.Ready() {
+		t.Error("server ready after drain")
+	}
+}

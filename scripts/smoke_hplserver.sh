@@ -1,0 +1,81 @@
+#!/bin/sh
+# End-to-end smoke for cmd/hplserver: start the server, submit a small
+# FP64 solve and a mixed-precision solve over HTTP, wait for both to
+# PASS, then SIGTERM and require a clean drain (exit 0). Run from the
+# repo root; CI runs it on every push.
+set -eu
+
+ADDR="${HPLSERVER_ADDR:-127.0.0.1:18080}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/hplserver"
+LOG="$(mktemp)"
+
+fail() {
+    echo "smoke: FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+go build -o "$BIN" ./cmd/hplserver
+
+"$BIN" -addr "$ADDR" -queue 8 -concurrency 2 -drain-timeout 30s >"$LOG" 2>&1 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+
+# Wait for readiness.
+i=0
+until curl -sf "$BASE/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -le 50 ] || fail "server never became ready"
+    kill -0 "$SRV" 2>/dev/null || fail "server died during startup"
+    sleep 0.2
+done
+
+# submit <json-body> -> job id on stdout
+submit() {
+    out=$(curl -sf -X POST "$BASE/v1/solve" -H 'X-Tenant: smoke' -d "$1") \
+        || fail "submit rejected: $1"
+    id=$(printf '%s' "$out" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n 1)
+    [ -n "$id" ] || fail "no job id in response: $out"
+    printf '%s' "$id"
+}
+
+# await <id>: poll until terminal, require PASSED
+await() {
+    i=0
+    while :; do
+        view=$(curl -sf "$BASE/v1/jobs/$1") || fail "poll $1 failed"
+        if printf '%s' "$view" | grep -q '"state": *"PASSED"'; then
+            return 0
+        fi
+        if printf '%s' "$view" | grep -Eq '"state": *"(FAILED|ABORTED)"'; then
+            fail "job $1 not PASSED: $view"
+        fi
+        i=$((i + 1))
+        [ "$i" -le 300 ] || fail "job $1 never finished: $view"
+        sleep 0.2
+    done
+}
+
+J1=$(submit '{"mode":"native","n":96,"nb":32,"workers":2,"seed":42}')
+J2=$(submit '{"mode":"native","n":96,"nb":32,"workers":2,"seed":7,"precision":"mixed"}')
+await "$J1"
+await "$J2"
+
+# The mixed job must report its refinement route.
+curl -sf "$BASE/v1/jobs/$J2" | grep -q '"refine"' \
+    || fail "mixed job carries no refinement report"
+
+# Counters are visible.
+curl -sf "$BASE/metrics" | grep -q 'server.jobs_passed' \
+    || fail "/metrics missing server counters"
+
+# Graceful drain: SIGTERM, clean exit 0.
+kill -TERM "$SRV"
+rc=0
+wait "$SRV" || rc=$?
+trap - EXIT
+[ "$rc" -eq 0 ] || fail "server exited $rc after SIGTERM"
+
+echo "smoke: PASS ($J1 fp64, $J2 mixed, clean drain)"
