@@ -36,8 +36,9 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 10m . ./internal/matrix/... ./internal/blas/... ./internal/pool/... ./internal/pack/... ./internal/lu/... ./internal/offload/... ./internal/cluster/... ./internal/hpl/... ./internal/fault/... ./internal/trace/... ./internal/metrics/... ./internal/server/...
 
-# smoke: end-to-end hplserver check — start the server, run an FP64 and
-# a mixed-precision solve over HTTP, SIGTERM, require a clean exit 0.
+# smoke: end-to-end hplserver check — start the server, run an FP64, a
+# native mixed, and a 2D-distributed mixed solve over HTTP, SIGTERM,
+# require a clean exit 0.
 smoke:
 	sh scripts/smoke_hplserver.sh
 
@@ -48,11 +49,13 @@ bench:
 
 # benchjson: the machine-readable benchmark record — DgemmPacked vs
 # DgemmParallel at several sizes, the dynamic-DAG LU, the real 2D
-# distributed HPL at n=768 / NB=32 / 4x4 under each look-ahead schedule
-# (none, basic, pipelined), and the HPL-MxP head-to-head (FP64 solve vs
-# FP32 factorization + FP64 refinement at n=768, interleaved best-of) —
-# written to BENCH_<yyyymmdd>.json (GFLOPS, ns/op, allocs/op). Diff two
-# files to see a regression as a number.
+# distributed HPL under each (look-ahead schedule, precision) pair —
+# Hpl2D-<mode> FP64 rows plus Hpl2D-mixed-<mode> rows (FP32 block-cyclic
+# factorization + FP64 refinement, speedup_vs_fp64 against the matching
+# FP64 best; an always-falling-back system yields a FALLBACK verdict with
+# the typed reason instead of aborting) — and the single-node HPL-MxP
+# head-to-head, written to BENCH_<yyyymmdd>.json (GFLOPS, ns/op,
+# allocs/op). Diff two files to see a regression as a number.
 benchjson:
 	$(GO) run ./cmd/benchjson
 

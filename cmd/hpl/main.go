@@ -58,22 +58,54 @@ const (
 
 	// exitUnsupported shares code 3: the run never started because the
 	// flag combination names a path the solver stack does not implement
-	// (today: -precision mixed outside -native). Distinct from exitFailed
-	// so harnesses can tell "your request is unsupported" from "your
-	// matrix failed".
+	// (today: -precision mixed with -faults/-ft, -dat, the 1D -ranks
+	// driver, or the hybrid projection). Distinct from exitFailed so
+	// harnesses can tell "your request is unsupported" from "your matrix
+	// failed".
 	exitUnsupported = 3
 )
 
 // mixedUnsupportedMsg returns a non-empty diagnostic when -precision
-// mixed is combined with a path that would silently run FP64: only the
-// -native shared-memory solve carries the HPL-MxP precision ladder today.
-func mixedUnsupportedMsg(native bool, precision phihpl.PrecisionMode) string {
+// mixed is combined with a path that would silently run FP64. The HPL-MxP
+// ladder covers the -native shared-memory solve and the real 2D
+// distributed drivers (-real with a P×Q grid, p·q > 1); the remaining
+// paths refuse loudly, each naming its own reason and the nearest
+// supported invocation.
+func mixedUnsupportedMsg(native, real, ft, dat bool, p, q int, precision phihpl.PrecisionMode) string {
 	if precision != phihpl.PrecisionMixed || native {
 		return ""
 	}
-	return "-precision mixed is only supported with -native (the shared-memory HPL-MxP solve); " +
-		"the distributed (-real, -ranks, -dat), fault-tolerant (-faults, -ft) and hybrid-projection " +
-		"paths factor in FP64 only — rerun with -native, or drop -precision mixed"
+	switch {
+	case ft:
+		return "-precision mixed cannot be combined with -faults/-ft: the fault-tolerant solver's ABFT " +
+			"checksum columns and checkpoints protect FP64 state only, and a mixed FP64 fallback re-run " +
+			"would be indistinguishable from a rollback — run the FT solver in FP64, or drop -faults/-ft " +
+			"to use the mixed 2D driver"
+	case dat:
+		return "-precision mixed is not supported with -dat: HPL.dat sweeps run the FP64 drivers — " +
+			"use -real -p P -q Q -precision mixed for a mixed 2D solve"
+	case real && p*q > 1:
+		return "" // the real 2D driver carries the full mixed ladder
+	case real:
+		return "-precision mixed needs a 2D grid: the 1D -ranks driver factors in FP64 only — " +
+			"add -p/-q with p·q > 1, or use -native"
+	default:
+		return "-precision mixed has no meaning for the hybrid projection (virtual time prices FP64 " +
+			"GEMMs); use -native or -real -p P -q Q"
+	}
+}
+
+// printRefine reports the mixed-precision phase of a finished solve.
+func printRefine(rr *phihpl.RefineReport) {
+	if rr == nil {
+		return
+	}
+	if rr.FellBack {
+		fmt.Printf("precision=mixed refine-iters=%d fallback=%s (solved in FP64)\n",
+			rr.Iterations, rr.Reason)
+	} else {
+		fmt.Printf("precision=mixed refine-iters=%d fallback=none\n", rr.Iterations)
+	}
 }
 
 // exitCode classifies a solve error into the documented exit codes.
@@ -162,7 +194,7 @@ func main() {
 	}
 	// Refuse, loudly and with a distinct exit code, rather than silently
 	// falling back to FP64 on paths the mixed ladder does not cover yet.
-	if msg := mixedUnsupportedMsg(*native, precision); msg != "" {
+	if msg := mixedUnsupportedMsg(*native, *real, *faults != "" || *ft, *dat != "", *p, *q, precision); msg != "" {
 		fmt.Fprintln(os.Stderr, "error:", msg)
 		os.Exit(exitUnsupported)
 	}
@@ -223,14 +255,7 @@ func main() {
 		}
 		fmt.Printf("N=%d NB=%d workers=%d sched=%s %.3fs %.2f GFLOPS\n",
 			*n, bs, *workers, sched, elapsed, phihpl.LUFlops(*n)/elapsed/1e9)
-		if rr := res.Refine; rr != nil {
-			if rr.FellBack {
-				fmt.Printf("precision=mixed refine-iters=%d fallback=%s (solved in FP64)\n",
-					rr.Iterations, rr.Reason)
-			} else {
-				fmt.Printf("precision=mixed refine-iters=%d fallback=none\n", rr.Iterations)
-			}
-		}
+		printRefine(res.Refine)
 		fmt.Printf("||Ax-b||_oo/(eps*(||A||_oo*||x||_oo+||b||_oo)*N) = %10.7f ...... %s\n",
 			res.Residual, status)
 		finishObservability(rec, *traceOut, *gantt, reg)
@@ -281,8 +306,9 @@ func main() {
 		var err error
 		if *p**q > 1 {
 			// A real P×Q grid: the full 2D driver under the selected
-			// look-ahead schedule, with per-stage pipeline spans on rec.
-			res, err = phihpl.SolveDistributed2DModeCtx(ctx, *n, bs, *p, *q, *seed, lookahead, rec)
+			// look-ahead schedule and precision, with per-stage pipeline
+			// spans on rec.
+			res, err = phihpl.SolveDistributed2DPrecisionCtx(ctx, *n, bs, *p, *q, *seed, lookahead, precision, rec)
 		} else {
 			res, err = phihpl.SolveDistributedCtx(ctx, *n, bs, *ranks, *seed)
 		}
@@ -307,6 +333,7 @@ func main() {
 		} else {
 			fmt.Printf("N=%d ranks=%d\n", *n, *ranks)
 		}
+		printRefine(res.Refine)
 		fmt.Printf("||Ax-b||_oo/(eps*(||A||_oo*||x||_oo+||b||_oo)*N) = %10.7f ...... %s\n",
 			res.Residual, status)
 		finishObservability(rec, *traceOut, *gantt, reg)

@@ -7,23 +7,59 @@ import (
 	"phihpl"
 )
 
-// TestMixedUnsupportedGuard locks the -precision mixed flag contract:
-// every non-native path refuses with a diagnostic (exit code 3 in main)
-// instead of silently running FP64, and the native path stays silent.
+// TestMixedSupportedPaths locks the lifted -precision mixed contract: the
+// native shared-memory solve and the real 2D distributed drivers accept
+// mixed, and fp64 is accepted everywhere.
+func TestMixedSupportedPaths(t *testing.T) {
+	type args struct {
+		native, real, ft, dat bool
+		p, q                  int
+	}
+	for _, tc := range []args{
+		{native: true},           // -native -precision mixed
+		{real: true, p: 2, q: 2}, // -real 2D grid
+		{real: true, p: 1, q: 4}, // any p·q > 1 shape
+		{real: true, p: 4, q: 1}, //
+		{native: true, ft: true}, // -native wins before the FT path is reached
+		{real: true, ft: false, p: 3, q: 2},
+	} {
+		if msg := mixedUnsupportedMsg(tc.native, tc.real, tc.ft, tc.dat, tc.p, tc.q, phihpl.PrecisionMixed); msg != "" {
+			t.Errorf("%+v with -precision mixed must be accepted, got %q", tc, msg)
+		}
+	}
+	for _, tc := range []args{
+		{}, {real: true, p: 1, q: 1}, {ft: true, p: 2, q: 2}, {dat: true},
+	} {
+		if msg := mixedUnsupportedMsg(tc.native, tc.real, tc.ft, tc.dat, tc.p, tc.q, phihpl.PrecisionFP64); msg != "" {
+			t.Errorf("%+v with fp64 must be accepted, got %q", tc, msg)
+		}
+	}
+}
+
+// TestMixedUnsupportedGuard: the paths still outside the mixed ladder
+// refuse with a diagnostic (exit code 3 in main) that names both the
+// reason and the nearest supported invocation, instead of silently
+// running FP64.
 func TestMixedUnsupportedGuard(t *testing.T) {
-	if msg := mixedUnsupportedMsg(true, phihpl.PrecisionMixed); msg != "" {
-		t.Errorf("-native -precision mixed must be accepted, got %q", msg)
-	}
-	if msg := mixedUnsupportedMsg(false, phihpl.PrecisionFP64); msg != "" {
-		t.Errorf("fp64 on any path must be accepted, got %q", msg)
-	}
-	msg := mixedUnsupportedMsg(false, phihpl.PrecisionMixed)
-	if msg == "" {
-		t.Fatal("-precision mixed without -native must be refused")
-	}
-	for _, want := range []string{"-native", "FP64", "mixed"} {
-		if !strings.Contains(msg, want) {
-			t.Errorf("diagnostic %q should mention %q", msg, want)
+	for _, tc := range []struct {
+		name          string
+		real, ft, dat bool
+		p, q          int
+		wants         []string
+	}{
+		{name: "ft", real: true, ft: true, p: 2, q: 2, wants: []string{"-faults/-ft", "ABFT", "FP64"}},
+		{name: "dat", dat: true, wants: []string{"-dat", "-real -p P -q Q"}},
+		{name: "real-1d", real: true, p: 1, q: 1, wants: []string{"1D", "-ranks", "-native"}},
+		{name: "projection", wants: []string{"projection", "-native", "-real"}},
+	} {
+		msg := mixedUnsupportedMsg(false, tc.real, tc.ft, tc.dat, tc.p, tc.q, phihpl.PrecisionMixed)
+		if msg == "" {
+			t.Fatalf("%s: -precision mixed must be refused", tc.name)
+		}
+		for _, want := range tc.wants {
+			if !strings.Contains(msg, want) {
+				t.Errorf("%s: diagnostic %q should mention %q", tc.name, msg, want)
+			}
 		}
 	}
 	if exitUnsupported != 3 {

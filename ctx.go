@@ -123,6 +123,27 @@ func SolveHybrid2DModeCtx(ctx context.Context, n, nb, p, q int, seed uint64, mod
 	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n}, nil
 }
 
+// SolveDistributed2DPrecisionCtx is SolveDistributed2DPrecision under a
+// context, optionally recording protocol spans into rec. Cancellation is
+// observed at every rank's stage boundary and between refinement steps.
+func SolveDistributed2DPrecisionCtx(ctx context.Context, n, nb, p, q int, seed uint64, mode LookaheadMode, prec PrecisionMode, rec *trace.Recorder) (SolveResult, error) {
+	r, err := hpl.SolveDistributed2DPrecisionCtx(ctx, n, nb, p, q, seed, mode, prec, rec)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n, Seconds: r.Seconds, Refine: r.Refine}, nil
+}
+
+// SolveHybrid2DPrecisionCtx is SolveHybrid2DPrecision under a context,
+// optionally recording protocol spans into rec.
+func SolveHybrid2DPrecisionCtx(ctx context.Context, n, nb, p, q int, seed uint64, mode LookaheadMode, prec PrecisionMode, rec *trace.Recorder) (SolveResult, error) {
+	r, err := hpl.SolveDistributed2DHybridPrecisionCtx(ctx, n, nb, p, q, seed, mode, prec, rec)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n, Seconds: r.Seconds, Refine: r.Refine}, nil
+}
+
 // SolveFaultTolerant2DCtx is SolveFaultTolerant2D under a context.
 // Cancellation is not a fault: it never consumes a restart, is never
 // wrapped in a *FaultError, and always surfaces as the plain ctx.Err().

@@ -1,0 +1,125 @@
+package blas
+
+import (
+	"sync"
+
+	"phihpl/internal/matrix"
+	"phihpl/internal/pack"
+	"phihpl/internal/pool"
+)
+
+// Single-precision prepacked operands: the FP32 mirror of PrepackA /
+// PrepackB / GemmPrepacked. The mixed-precision distributed HPL driver
+// multiplies one L panel against every U block of a block row (and one U
+// block against every L panel of a block column); prepacking packs each
+// operand once per stage and reuses the tiles across calls. Because a C
+// element's value depends only on its packed A row, packed B column and
+// the K-block boundaries, SGemmPrepacked is bitwise identical to the
+// SgemmPacked call it replaces.
+
+// sprepackSlabs recycles the packed-operand backing arrays so steady-state
+// prepacking allocates nothing. Contents are stale on reuse; the packers
+// overwrite every element including padding.
+var sprepackSlabs = sync.Pool{New: func() any { return new([]float32) }}
+
+func sprepackTake(n int) *[]float32 {
+	s := sprepackSlabs.Get().(*[]float32)
+	if cap(*s) < n {
+		*s = make([]float32, n)
+	}
+	*s = (*s)[:n]
+	return s
+}
+
+// SPrepackedA is alpha·A packed once into the FP32 tile layout (one
+// K-block).
+type SPrepackedA struct {
+	pa   *pack.A32
+	m, k int
+	slab *[]float32
+}
+
+// Release recycles the packed buffer. Optional (an unreleased operand is
+// ordinary garbage); call it only once no SGemmPrepacked will read the
+// operand again.
+func (a *SPrepackedA) Release() {
+	if a != nil && a.slab != nil {
+		sprepackSlabs.Put(a.slab)
+		a.slab, a.pa = nil, nil
+	}
+}
+
+// SPrepackA packs alpha·a (no transpose). Returns nil when a spans more
+// than one K-block (k > packKC) — callers fall back to SgemmPacked, which
+// blocks over k itself.
+func SPrepackA(a *matrix.Dense32, alpha float32) *SPrepackedA {
+	m, k := a.Rows, a.Cols
+	if k > packKC {
+		return nil
+	}
+	aTiles := (m + pack.DefaultTileM32 - 1) / pack.DefaultTileM32
+	slab := sprepackTake(aTiles * pack.DefaultTileM32 * k)
+	pa := &pack.A32{M: m, K: k, TileM: pack.DefaultTileM32, Data: *slab}
+	for t := 0; t < aTiles; t++ {
+		pack.PackATileOp32(pa, a, false, alpha, 0, t)
+	}
+	mSBytesPacked.Load().Add(4 * int64(len(pa.Data)))
+	return &SPrepackedA{pa: pa, m: m, k: k, slab: slab}
+}
+
+// SPrepackedB is B packed once into the FP32 tile layout (one K-block).
+type SPrepackedB struct {
+	pb   *pack.B32
+	k, n int
+	slab *[]float32
+}
+
+// Release recycles the packed buffer; see (*SPrepackedA).Release.
+func (b *SPrepackedB) Release() {
+	if b != nil && b.slab != nil {
+		sprepackSlabs.Put(b.slab)
+		b.slab, b.pb = nil, nil
+	}
+}
+
+// SPrepackB packs b (no transpose). Returns nil when b spans more than
+// one K-block (k > packKC).
+func SPrepackB(b *matrix.Dense32) *SPrepackedB {
+	k, n := b.Rows, b.Cols
+	if k > packKC {
+		return nil
+	}
+	bTiles := (n + pack.TileN32 - 1) / pack.TileN32
+	slab := sprepackTake(bTiles * k * pack.TileN32)
+	pb := &pack.B32{K: k, N: n, Data: *slab}
+	for t := 0; t < bTiles; t++ {
+		pack.PackBTileOp32(pb, b, false, 0, t)
+	}
+	mSBytesPacked.Load().Add(4 * int64(len(pb.Data)))
+	return &SPrepackedB{pb: pb, k: k, n: n, slab: slab}
+}
+
+// SGemmPrepacked computes C += (alpha·A)·B from prepacked FP32 operands
+// (the alpha was folded into the A tiles at pack time; beta is fixed at
+// 1). The tile grid and micro-kernel invocations are exactly SgemmPacked's
+// single-K-block schedule, so the result is bitwise identical to
+// SgemmPacked(false, false, alpha, a, b, 1, c, workers).
+func SGemmPrepacked(a *SPrepackedA, b *SPrepackedB, c *matrix.Dense32, workers int) {
+	if a.k != b.k || c.Rows != a.m || c.Cols != b.n {
+		panic("blas: SGemmPrepacked dimension mismatch")
+	}
+	if a.m == 0 || b.n == 0 || a.k == 0 {
+		return
+	}
+	mSPackedCalls.Load().Inc()
+	mSPackedFlops.Load().Add(2 * int64(a.m) * int64(b.n) * int64(a.k))
+	aTiles, bTiles := a.pa.Tiles(), b.pb.Tiles()
+	pa, pb := a.pa, b.pb
+	pool.Do(aTiles*bTiles, workers, func(j int) {
+		ta, tb := j/bTiles, j%bTiles
+		rows := pa.TileRows(ta)
+		cols := pb.TileCols(tb)
+		off := ta*pack.DefaultTileM32*c.Stride + tb*pack.TileN32
+		pack.MicroKernel32(pa.Tile(ta), pa.TileM, a.k, pb.Tile(tb), c.Data[off:], c.Stride, rows, cols)
+	})
+}

@@ -1,0 +1,92 @@
+package blas
+
+import (
+	"testing"
+
+	"phihpl/internal/matrix"
+)
+
+// SGemmPrepacked's pack-once-reuse must be bitwise the per-call
+// SgemmPacked result — the contract that lets the mixed-precision 2D HPL
+// driver share packed FP32 operands across a block row/column — for every
+// shape in the single-K-block regime, including ragged tiles, and
+// independent of how many calls reuse the same prepacked operand.
+func TestSGemmPrepackedBitwiseMatchesSgemmPacked(t *testing.T) {
+	for _, sh := range []struct{ m, n, k int }{
+		{32, 16, 16}, // exactly one tile
+		{64, 48, 32}, // several tiles
+		{33, 17, 19}, // ragged everything
+		{1, 1, 16},
+		{95, 23, 384}, // k at the K-block boundary
+	} {
+		a := matrix.RandomGeneral(sh.m, sh.k, 11).ToDense32()
+		b := matrix.RandomGeneral(sh.k, sh.n, 12).ToDense32()
+		want := matrix.RandomGeneral(sh.m, sh.n, 13).ToDense32()
+		got := want.Clone()
+
+		SgemmPacked(false, false, -1, a, b, 1, want, 2)
+
+		pa := SPrepackA(a, -1)
+		pb := SPrepackB(b)
+		if pa == nil || pb == nil {
+			t.Fatalf("%+v: prepack refused a single-K-block shape", sh)
+		}
+		// Reuse both operands twice: second use must still be bitwise.
+		scratch := matrix.NewDense32(sh.m, sh.n)
+		SGemmPrepacked(pa, pb, scratch, 1)
+		SGemmPrepacked(pa, pb, got, 2)
+		for i := 0; i < sh.m; i++ {
+			for j := 0; j < sh.n; j++ {
+				if got.At(i, j) != want.At(i, j) {
+					t.Fatalf("%+v: (%d,%d) = %v, want %v (bitwise)", sh, i, j, got.At(i, j), want.At(i, j))
+				}
+			}
+		}
+		pa.Release()
+		pb.Release()
+	}
+}
+
+// Prepacking refuses multi-K-block operands, mismatched shapes panic, and
+// Release is safe on nil and after use.
+func TestSGemmPrepackedGuards(t *testing.T) {
+	if pa := SPrepackA(matrix.RandomGeneral(8, 385, 1).ToDense32(), -1); pa != nil {
+		t.Error("SPrepackA must refuse k > one K-block")
+	}
+	if pb := SPrepackB(matrix.RandomGeneral(385, 8, 1).ToDense32()); pb != nil {
+		t.Error("SPrepackB must refuse k > one K-block")
+	}
+	var nilA *SPrepackedA
+	var nilB *SPrepackedB
+	nilA.Release()
+	nilB.Release()
+
+	pa := SPrepackA(matrix.RandomGeneral(8, 16, 1).ToDense32(), -1)
+	pb := SPrepackB(matrix.RandomGeneral(17, 8, 1).ToDense32()) // k mismatch
+	defer func() {
+		if recover() == nil {
+			t.Error("k mismatch must panic")
+		}
+	}()
+	SGemmPrepacked(pa, pb, matrix.NewDense32(8, 8), 1)
+}
+
+// Dense32.CopyFrom copies element-wise and enforces shape agreement.
+func TestDense32CopyFrom(t *testing.T) {
+	src := matrix.RandomGeneral(5, 7, 3).ToDense32()
+	dst := matrix.NewDense32(5, 7)
+	dst.CopyFrom(src)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 7; j++ {
+			if dst.At(i, j) != src.At(i, j) {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, dst.At(i, j), src.At(i, j))
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch must panic")
+		}
+	}()
+	matrix.NewDense32(4, 7).CopyFrom(src)
+}

@@ -80,10 +80,14 @@ func (e *RankPanicError) Error() string {
 func (e *RankPanicError) Is(target error) bool { return target == ErrRankFailed }
 
 // Msg is one message: a tag for protocol sanity checking plus float and
-// int payloads (matrix panels and pivot vectors).
+// int payloads (matrix panels and pivot vectors). F32 carries
+// single-precision panels for the mixed-precision distributed drivers —
+// half the wire bytes of the same panel in F, and covered by the same
+// end-to-end checksum in chaos mode.
 type Msg struct {
 	Src, Tag int
 	F        []float64
+	F32      []float32
 	I        []int
 }
 
@@ -119,7 +123,7 @@ type World struct {
 	lossy bool // chaos transport active (Injector != nil)
 
 	data [][]chan *packet // data[src][dst]
-	acks [][]chan uint64 // cumulative acks for link src→dst (lossy mode)
+	acks [][]chan uint64  // cumulative acks for link src→dst (lossy mode)
 	out  [][]chan *packet // sender-side outbox per link (lossy mode)
 
 	// Per-link sequence counters. sendSeq[s][d] is touched only by rank

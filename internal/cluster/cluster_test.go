@@ -58,6 +58,58 @@ func TestSendCopiesPayload(t *testing.T) {
 	}
 }
 
+func TestSendRecv32(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	w := NewWorld(2, 4)
+	buf := []float32{1.5, -2.25}
+	err := w.Run(func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send32(1, 7, buf, []int{3}); err != nil {
+				return err
+			}
+			buf[0] = 99 // mutate after send: receiver must not see it
+			return nil
+		}
+		m, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if m.Src != 0 || len(m.F32) != 2 || m.F32[0] != 1.5 || m.F32[1] != -2.25 || m.I[0] != 3 {
+			t.Errorf("bad message: %+v", m)
+		}
+		if len(m.F) != 0 {
+			t.Errorf("FP64 payload should be empty, got %v", m.F)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumCoversF32(t *testing.T) {
+	base := Msg{Src: 1, Tag: 2, F32: []float32{1, 2, 3}}
+	flipped := Msg{Src: 1, Tag: 2, F32: []float32{1, 2.0000002, 3}}
+	if msgChecksum(base) == msgChecksum(flipped) {
+		t.Error("checksum must change when an F32 element changes")
+	}
+	short := Msg{Src: 1, Tag: 2, F32: []float32{1, 2}}
+	if msgChecksum(base) == msgChecksum(short) {
+		t.Error("checksum must cover the F32 length")
+	}
+}
+
+func TestCorruptPacketFlipsF32(t *testing.T) {
+	pkt := &packet{msg: Msg{F32: []float32{4, 5, 6}}, seq: 1}
+	out := corruptPacket(pkt)
+	if out.msg.F32[1] == 5 {
+		t.Error("F32 payload not corrupted")
+	}
+	if pkt.msg.F32[1] != 5 {
+		t.Error("original packet mutated; retransmission would resend garbage")
+	}
+}
+
 func TestBcast(t *testing.T) {
 	w := NewWorld(4, 4)
 	var mu sync.Mutex
@@ -320,6 +372,42 @@ func TestLossyDeliveryCorruption(t *testing.T) {
 	}
 	if st.ChecksumRejects == 0 {
 		t.Error("corrupt packets must be rejected by checksum")
+	}
+}
+
+func TestLossyDeliveryCorruptionF32(t *testing.T) {
+	// The FP32 wire path must survive chaos mode: corrupt packets carrying
+	// F32 payloads are rejected by checksum and retransmitted clean.
+	defer testutil.NoLeaks(t)()
+	const n = 4
+	in := fault.NewInjector(&fault.Plan{Seed: 31, Drop: 0.15, Corrupt: 0.2})
+	w := NewWorldOpts(n, Options{Timeout: 5 * time.Second, Injector: in})
+	err := w.Run(func(c *Comm) error {
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() + n - 1) % n
+		for r := 0; r < 40; r++ {
+			if err := c.Send32(next, 200+r, []float32{float32(c.Rank()*1000 + r)}, []int{r}); err != nil {
+				return err
+			}
+			m, err := c.Recv(prev, 200+r)
+			if err != nil {
+				return err
+			}
+			if m.F32[0] != float32(prev*1000+r) || m.I[0] != r {
+				t.Errorf("rank %d round %d: corrupt F32 delivery %v %v", c.Rank(), r, m.F32, m.I)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("lossy F32 ring failed: %v", err)
+	}
+	st := w.Stats()
+	if st.Faults.Corrupts == 0 {
+		t.Error("no corruption injected at p=0.2")
+	}
+	if st.ChecksumRejects == 0 {
+		t.Error("corrupt F32 packets must be rejected by checksum")
 	}
 }
 

@@ -33,16 +33,37 @@ func backoffFor(attempt int) time.Duration {
 // only blocks when the link's buffer is full, and then honors the world
 // timeout and peer-failure signals instead of hanging.
 func (c *Comm) Send(dst, tag int, f []float64, ints []int) error {
-	w := c.world
-	if dst < 0 || dst >= w.size {
-		return &OpError{Rank: c.rank, Op: "send", Peer: dst, Tag: tag, Err: ErrInvalidRank}
-	}
 	m := Msg{Src: c.rank, Tag: tag}
 	if f != nil {
 		m.F = append([]float64(nil), f...)
 	}
 	if ints != nil {
 		m.I = append([]int(nil), ints...)
+	}
+	return c.sendMsg(dst, tag, m)
+}
+
+// Send32 is Send with a single-precision float payload — the wire path of
+// the mixed-precision distributed drivers. Semantics match Send exactly
+// (copied payloads, eager buffering, timeout/failure handling); in chaos
+// mode the F32 payload is covered by the same checksum/retransmit
+// machinery as F.
+func (c *Comm) Send32(dst, tag int, f []float32, ints []int) error {
+	m := Msg{Src: c.rank, Tag: tag}
+	if f != nil {
+		m.F32 = append([]float32(nil), f...)
+	}
+	if ints != nil {
+		m.I = append([]int(nil), ints...)
+	}
+	return c.sendMsg(dst, tag, m)
+}
+
+// sendMsg is the shared delivery core of Send and Send32.
+func (c *Comm) sendMsg(dst, tag int, m Msg) error {
+	w := c.world
+	if dst < 0 || dst >= w.size {
+		return &OpError{Rank: c.rank, Op: "send", Peer: dst, Tag: tag, Err: ErrInvalidRank}
 	}
 	p := &w.prog[c.rank]
 	p.sentTag.Store(int64(tag))
@@ -293,9 +314,13 @@ func msgChecksum(m Msg) uint64 {
 	mix(uint64(m.Src))
 	mix(uint64(m.Tag))
 	mix(uint64(len(m.F)))
+	mix(uint64(len(m.F32)))
 	mix(uint64(len(m.I)))
 	for _, f := range m.F {
 		mix(math.Float64bits(f))
+	}
+	for _, f := range m.F32 {
+		mix(uint64(math.Float32bits(f)))
 	}
 	for _, v := range m.I {
 		mix(uint64(v))
@@ -309,11 +334,15 @@ func msgChecksum(m Msg) uint64 {
 func corruptPacket(pkt *packet) *packet {
 	out := *pkt
 	out.msg.F = append([]float64(nil), pkt.msg.F...)
+	out.msg.F32 = append([]float32(nil), pkt.msg.F32...)
 	out.msg.I = append([]int(nil), pkt.msg.I...)
 	switch {
 	case len(out.msg.F) > 0:
 		i := int(pkt.seq) % len(out.msg.F)
 		out.msg.F[i] = math.Float64frombits(math.Float64bits(out.msg.F[i]) ^ (1 << 52))
+	case len(out.msg.F32) > 0:
+		i := int(pkt.seq) % len(out.msg.F32)
+		out.msg.F32[i] = math.Float32frombits(math.Float32bits(out.msg.F32[i]) ^ (1 << 23))
 	case len(out.msg.I) > 0:
 		i := int(pkt.seq) % len(out.msg.I)
 		out.msg.I[i] ^= 1 << 7

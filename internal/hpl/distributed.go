@@ -15,6 +15,7 @@ import (
 
 	"phihpl/internal/blas"
 	"phihpl/internal/cluster"
+	"phihpl/internal/lu"
 	"phihpl/internal/matrix"
 )
 
@@ -39,6 +40,11 @@ type DistResult struct {
 	// FT carries the fault-tolerance counters of SolveDistributed2DFT
 	// (nil for the plain drivers).
 	FT *FTStats
+	// Refine describes the FP64 iterative-refinement phase of a
+	// mixed-precision 2D solve: step count, final scaled residual, and —
+	// when the FP32 route could not reach the bar — the typed reason the
+	// driver re-ran the FP64 path. Nil for pure-FP64 solves.
+	Refine *lu.MixedReport
 }
 
 // SolveDistributed factors and solves the seeded random system A·x = b on

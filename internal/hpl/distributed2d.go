@@ -8,6 +8,7 @@ import (
 
 	"phihpl/internal/blas"
 	"phihpl/internal/cluster"
+	"phihpl/internal/lu"
 	"phihpl/internal/matrix"
 	"phihpl/internal/trace"
 )
@@ -46,20 +47,56 @@ func SolveDistributed2DMode(n, nb, p, q int, seed uint64, mode LookaheadMode) (D
 // Once ctx is done the caller sees the plain ctx.Err() — never a wrapped
 // transport error from the unwinding fabric.
 func SolveDistributed2DCtx(ctx context.Context, n, nb, p, q int, seed uint64) (DistResult, error) {
-	return solve2D(ctx, n, nb, p, q, seed, false, LookaheadPipelined, nil)
+	return solve2D(ctx, n, nb, p, q, seed, false, LookaheadPipelined, lu.PrecisionFP64, nil)
 }
 
 // SolveDistributed2DModeCtx is SolveDistributed2DMode under a context,
 // optionally recording per-phase protocol spans (worker = rank, plus an
 // async-GEMM lane at P·Q + rank) into rec for the look-ahead Gantt.
 func SolveDistributed2DModeCtx(ctx context.Context, n, nb, p, q int, seed uint64, mode LookaheadMode, rec *trace.Recorder) (DistResult, error) {
-	return solve2D(ctx, n, nb, p, q, seed, false, mode, rec)
+	return solve2D(ctx, n, nb, p, q, seed, false, mode, lu.PrecisionFP64, rec)
 }
 
-// solve2D is the shared world-construction core of the plain and hybrid 2D
-// solvers. offloadUpdates routes trailing updates through the offload
-// work-stealing engine.
-func solve2D(ctx context.Context, n, nb, p, q int, seed uint64, offloadUpdates bool, mode LookaheadMode, rec *trace.Recorder) (DistResult, error) {
+// SolveDistributed2DPrecision is SolveDistributed2DMode with an explicit
+// precision: lu.PrecisionFP64 is the classical all-double pipeline;
+// lu.PrecisionMixed factors in FP32 (panel, swaps, broadcasts and packed
+// trailing updates all single precision, halving the wire and GEMM bytes)
+// and recovers a double-precision-quality solution with FP64 iterative
+// refinement at the root. When the FP32 route cannot reach the HPL bar the
+// driver re-runs the FP64 path automatically and reports the typed reason
+// in DistResult.Refine.
+func SolveDistributed2DPrecision(n, nb, p, q int, seed uint64, mode LookaheadMode, prec lu.PrecisionMode) (DistResult, error) {
+	return SolveDistributed2DPrecisionCtx(context.Background(), n, nb, p, q, seed, mode, prec, nil)
+}
+
+// SolveDistributed2DPrecisionCtx is SolveDistributed2DPrecision under a
+// context, optionally recording protocol spans into rec. Cancellation is
+// observed at every rank's stage boundary and between refinement steps.
+func SolveDistributed2DPrecisionCtx(ctx context.Context, n, nb, p, q int, seed uint64, mode LookaheadMode, prec lu.PrecisionMode, rec *trace.Recorder) (DistResult, error) {
+	return solve2D(ctx, n, nb, p, q, seed, false, mode, prec, rec)
+}
+
+// solve2D is the shared entry of the plain and hybrid 2D solvers.
+// offloadUpdates routes trailing updates through the offload work-stealing
+// engine; prec selects FP64 throughout or the mixed-precision pipeline
+// (FP32 factorization, FP64 refinement at the root). When the mixed route
+// cannot reach the HPL bar it re-runs the FP64 path in a fresh world,
+// keeping the typed fallback reason — a precision decision, not a fault,
+// so no FT restart budget is involved.
+func solve2D(ctx context.Context, n, nb, p, q int, seed uint64, offloadUpdates bool, mode LookaheadMode, prec lu.PrecisionMode, rec *trace.Recorder) (DistResult, error) {
+	res, err := solve2DOnce(ctx, n, nb, p, q, seed, offloadUpdates, mode, prec, rec)
+	if err != nil || prec != lu.PrecisionMixed || res.Refine == nil || !res.Refine.FellBack {
+		return res, err
+	}
+	rep := res.Refine
+	fres, ferr := solve2DOnce(ctx, n, nb, p, q, seed, offloadUpdates, mode, lu.PrecisionFP64, rec)
+	rep.Residual = fres.Residual
+	fres.Refine = rep
+	return fres, ferr
+}
+
+// solve2DOnce is the world-construction core: one grid, one solve.
+func solve2DOnce(ctx context.Context, n, nb, p, q int, seed uint64, offloadUpdates bool, mode LookaheadMode, prec lu.PrecisionMode, rec *trace.Recorder) (DistResult, error) {
 	if n < 1 || p < 1 || q < 1 {
 		return DistResult{}, errors.New("hpl: n, P and Q must be positive")
 	}
@@ -79,7 +116,7 @@ func solve2D(ctx context.Context, n, nb, p, q int, seed uint64, offloadUpdates b
 	errs := make([]error, p*q)
 	if err := world.Run(func(c *Comm) error {
 		g := &grid2d{c: c, ctx: ctx, P: p, Q: q, n: n, nb: nb, nBlocks: nBlocks,
-			offloadUpdates: offloadUpdates, mode: mode, rec: rec}
+			offloadUpdates: offloadUpdates, mode: mode, prec: prec, rec: rec}
 		g.p, g.q = c.Rank()/q, c.Rank()%q
 		return g.run(seed, results, errs)
 	}); err != nil {
@@ -106,9 +143,10 @@ type grid2d struct {
 	nBlocks    int
 	seed       uint64 // matrix seed, kept for jump-ahead regeneration
 	mode       LookaheadMode
+	prec       lu.PrecisionMode         // element width of the factorization
 	blocks     map[[2]int]*matrix.Dense // owned global blocks (I,J)
 	globalPiv  []int
-	stageL11   *matrix.Dense         // factored diagonal block of this stage
+	stageL11   *matrix.Dense   // factored diagonal block of this stage
 	stageL21   []*matrix.Dense // block row I -> L21 block (cleared per stage)
 	stageU12   []*matrix.Dense // block col J -> U12 block (cleared per stage)
 	firstError error
@@ -117,11 +155,11 @@ type grid2d struct {
 	offloadUpdates bool
 
 	// Look-ahead bookkeeping (basic/pipelined schedules).
-	pivots   [][]int // eagerly factored stage -> its panel pivots
-	factored []bool  // panels factored ahead of their stage
-	lSent    []bool  // stages whose L broadcast was already posted
-	pipe     *pipeline     // asynchronous trailing-update worker (pipelined)
-	scratch  []float64     // reusable pack buffer (Send copies payloads)
+	pivots   [][]int            // eagerly factored stage -> its panel pivots
+	factored []bool             // panels factored ahead of their stage
+	lSent    []bool             // stages whose L broadcast was already posted
+	pipe     *pipeline          // asynchronous trailing-update worker (pipelined)
+	scratch  []float64          // reusable pack buffer (Send copies payloads)
 	packedL  []*blas.PrepackedA // per-stage prepacked L21 panels (look-ahead paths)
 	// Reusable pipeJob slices (inline pipeline only, where a job never
 	// outlives its enqueue call).
@@ -129,7 +167,21 @@ type grid2d struct {
 	jobLs     []*matrix.Dense
 	jobRows   []int
 	jobPls    []*blas.PrepackedA
-	t0       time.Time     // start of the timed factor+solve phase
+	t0        time.Time // start of the timed factor+solve phase
+
+	// Mixed-precision state (prec == lu.PrecisionMixed): the FP32 mirror
+	// of the block map and per-stage operand caches. In mixed mode every
+	// factorization-phase structure lives here and `blocks` stays nil;
+	// rank 0 keeps the FP64 original for residual + refinement only.
+	blocks32    map[[2]int]*matrix.Dense32
+	stageL11v32 *matrix.Dense32
+	stageL21v32 []*matrix.Dense32
+	stageU12v32 []*matrix.Dense32
+	scratch32   []float32
+	packedL32   []*blas.SPrepackedA
+	jobBlocks32 []*matrix.Dense32
+	jobLs32     []*matrix.Dense32
+	jobPls32    []*blas.SPrepackedA
 
 	// hooks let the FT solver ride checksum maintenance on the schedule;
 	// aheadBlocked vetoes eager factorization (super-step boundaries).
@@ -178,7 +230,11 @@ func (g *grid2d) scatter(seed uint64) (*matrix.Dense, []float64) {
 	// matrix; the blocks are bitwise identical either way.
 	var full *matrix.Dense
 	var rhs []float64
-	if g.me() == 0 {
+	if hook := mixedTestSystem; hook != nil {
+		// Keep the FP64 fallback re-run on the same (hooked) system the
+		// mixed attempt factored; see mixedTestSystem.
+		full, rhs = hook(g.n, seed)
+	} else if g.me() == 0 {
 		full, rhs = matrix.RandomSystem(g.n, seed)
 	}
 	g.blocks = make(map[[2]int]*matrix.Dense)
@@ -204,6 +260,9 @@ func (g *grid2d) scatter(seed uint64) (*matrix.Dense, []float64) {
 	g.stageL21 = make([]*matrix.Dense, g.nBlocks)
 	g.stageU12 = make([]*matrix.Dense, g.nBlocks)
 	g.packedL = make([]*blas.PrepackedA, g.nBlocks)
+	if g.me() != 0 {
+		full, rhs = nil, nil // hook path: only the root verifies
+	}
 	return full, rhs
 }
 
@@ -267,7 +326,13 @@ func (g *grid2d) stageNone(k int) error {
 }
 
 func (g *grid2d) run(seed uint64, results []DistResult, errs []error) error {
-	full, rhs := g.scatter(seed)
+	var full *matrix.Dense
+	var rhs []float64
+	if g.mixed() {
+		full, rhs = g.scatter32(seed)
+	} else {
+		full, rhs = g.scatter(seed)
+	}
 	// HPL times the solve proper: all ranks sync here so generation cost
 	// can't leak into any rank's factorization phase.
 	if err := g.c.Barrier(); err != nil {
@@ -305,6 +370,9 @@ func (g *grid2d) ctxErr() error {
 // factors it, scatters the factored segments back, and broadcasts the
 // panel-relative pivots to the whole grid. Returns the pivots.
 func (g *grid2d) factorPanel(k int) ([]int, error) {
+	if g.mixed() {
+		return g.factorPanel32(k)
+	}
 	rootP, rootQ := g.owner(k, k)
 	root := g.rank(rootP, rootQ)
 	_, w := g.blockDims(k, k)
@@ -433,6 +501,9 @@ func (g *grid2d) swapRows(k int, piv []int) error {
 
 // swapOne exchanges one row pair within block column jb.
 func (g *grid2d) swapOne(k, j, jb, r1, r2, i1, i2, p1, p2 int) error {
+	if g.mixed() {
+		return g.swapOne32(k, j, jb, r1, r2, i1, i2, p1, p2)
+	}
 	tag := tag2dSwapBase + (k*g.nb+j)*g.nBlocks + jb
 	switch {
 	case p1 == g.p && p2 == g.p:
@@ -480,6 +551,9 @@ func (g *grid2d) swapOne(k, j, jb, r1, r2, i1, i2, p1, p2 int) error {
 // diagonal block (k,k) to row rootP's processes, and each L21 block (I,k)
 // to the processes of row I%P. Receivers stash them for the update.
 func (g *grid2d) broadcastL(k int) error {
+	if g.mixed() {
+		return g.broadcastL32(k)
+	}
 	rootP, rootQ := g.owner(k, k)
 	g.stageL11 = nil
 	clearDense(g.stageL21)
@@ -523,6 +597,9 @@ func (g *grid2d) broadcastL(k int) error {
 // solveAndBroadcastU computes U12 on the pivot process row and broadcasts
 // each U block down its process column.
 func (g *grid2d) solveAndBroadcastU(k int) error {
+	if g.mixed() {
+		return g.solveAndBroadcastU32(k)
+	}
 	rootP, _ := g.owner(k, k)
 	clearDense(g.stageU12)
 
@@ -559,6 +636,9 @@ func (g *grid2d) solveAndBroadcastU(k int) error {
 
 // update applies A(I,J) -= L21(I)·U12(J) to every owned trailing block.
 func (g *grid2d) update(k int) error {
+	if g.mixed() {
+		return g.update32(k)
+	}
 	for ij, blk := range g.blocks {
 		i, j := ij[0], ij[1]
 		if i <= k || j <= k {
@@ -589,6 +669,9 @@ func (g *grid2d) update(k int) error {
 func (g *grid2d) gatherAndSolve(full *matrix.Dense, rhs []float64, results []DistResult, errs []error) error {
 	if err := g.drainPipe(); err != nil {
 		return err
+	}
+	if g.mixed() {
+		return g.gatherAndSolve32(full, rhs, results, errs)
 	}
 	me := g.rank(g.p, g.q)
 	if me != 0 {

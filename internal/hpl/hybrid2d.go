@@ -3,6 +3,7 @@ package hpl
 import (
 	"context"
 
+	"phihpl/internal/lu"
 	"phihpl/internal/matrix"
 	"phihpl/internal/offload"
 	"phihpl/internal/trace"
@@ -34,13 +35,28 @@ func SolveDistributed2DHybridMode(n, nb, p, q int, seed uint64, mode LookaheadMo
 // the offload engine itself, so a rank parked in a long trailing update
 // unwinds without waiting for the stage to finish.
 func SolveDistributed2DHybridCtx(ctx context.Context, n, nb, p, q int, seed uint64) (DistResult, error) {
-	return solve2D(ctx, n, nb, p, q, seed, true, LookaheadPipelined, nil)
+	return solve2D(ctx, n, nb, p, q, seed, true, LookaheadPipelined, lu.PrecisionFP64, nil)
 }
 
 // SolveDistributed2DHybridModeCtx is SolveDistributed2DHybridMode under a
 // context, optionally recording protocol spans into rec.
 func SolveDistributed2DHybridModeCtx(ctx context.Context, n, nb, p, q int, seed uint64, mode LookaheadMode, rec *trace.Recorder) (DistResult, error) {
-	return solve2D(ctx, n, nb, p, q, seed, true, mode, rec)
+	return solve2D(ctx, n, nb, p, q, seed, true, mode, lu.PrecisionFP64, rec)
+}
+
+// SolveDistributed2DHybridPrecision is SolveDistributed2DHybridMode with
+// an explicit precision. The offload engine computes in FP64 only, so a
+// mixed hybrid solve routes its trailing updates through the FP32 packed
+// host path instead — bitwise identical to the plain mixed 2D driver —
+// and keeps the offload engine for the FP64 fallback re-run.
+func SolveDistributed2DHybridPrecision(n, nb, p, q int, seed uint64, mode LookaheadMode, prec lu.PrecisionMode) (DistResult, error) {
+	return SolveDistributed2DHybridPrecisionCtx(context.Background(), n, nb, p, q, seed, mode, prec, nil)
+}
+
+// SolveDistributed2DHybridPrecisionCtx is SolveDistributed2DHybridPrecision
+// under a context, optionally recording protocol spans into rec.
+func SolveDistributed2DHybridPrecisionCtx(ctx context.Context, n, nb, p, q int, seed uint64, mode LookaheadMode, prec lu.PrecisionMode, rec *trace.Recorder) (DistResult, error) {
+	return solve2D(ctx, n, nb, p, q, seed, true, mode, prec, rec)
 }
 
 // offloadUpdate computes blk -= l·u through the work-stealing engine,

@@ -219,6 +219,9 @@ func (g *grid2d) factorPanelBatched(k int) ([]int, error) {
 // in one message per destination rank. Only panel-column ranks
 // participate; the root returns the pivots, everyone else nil.
 func (g *grid2d) factorPanelCore(k int) ([]int, error) {
+	if g.mixed() {
+		return g.factorPanelCore32(k)
+	}
 	rootP, rootQ := g.owner(k, k)
 	root := g.rank(rootP, rootQ)
 	if g.q != rootQ {
@@ -413,6 +416,9 @@ func (g *grid2d) eagerPivotFanout(next int) error {
 // binomial-tree children along the process row (one message per tree
 // edge instead of one per block per peer).
 func (g *grid2d) sendLRoot(k int) error {
+	if g.mixed() {
+		return g.sendLRoot32(k)
+	}
 	_, rootQ := g.owner(k, k)
 	g.lSent[k] = true
 	if g.Q == 1 {
@@ -446,6 +452,9 @@ func (g *grid2d) sendLRoot(k int) error {
 // its L blocks so the asynchronous trailing updates read stable data
 // while later stages swap rows of the real panel column.
 func (g *grid2d) recvL(k int) error {
+	if g.mixed() {
+		return g.recvL32(k)
+	}
 	rootP, rootQ := g.owner(k, k)
 	g.stageL11 = nil
 	clearDense(g.stageL21)
@@ -527,6 +536,9 @@ func (g *grid2d) recvL(k int) error {
 // tree-broadcasts it down the process column (relays forward the raw
 // payload, so every copy is bitwise the root's).
 func (g *grid2d) solveUColumn(k, j int) error {
+	if g.mixed() {
+		return g.solveUColumn32(k, j)
+	}
 	rootP, _ := g.owner(k, k)
 	var u *matrix.Dense
 	if g.p == rootP {
@@ -608,6 +620,9 @@ func (g *grid2d) prepackU(u *matrix.Dense) *blas.PrepackedB {
 // panels come from the per-stage prepack cache, so the column's updates
 // share packed operands instead of re-packing both per block.
 func (g *grid2d) updateColumn(k, j int) error {
+	if g.mixed() {
+		return g.updateColumn32(k, j)
+	}
 	u := g.stageU12[j]
 	pu := g.prepackU(u)
 	defer pu.Release()
@@ -701,6 +716,11 @@ type stageSwap struct {
 	stash    map[int][]float64 // peer process row -> packed rows received
 	off      []int             // peer process row -> consumed payload offset
 	snap     []float64         // per-column snapshot scratch for local cycles
+
+	// FP32 twins of stash/snap, used when the grid runs in mixed
+	// precision (half the wire bytes per exchanged row).
+	stash32 map[int][]float32
+	snap32  []float32
 }
 
 // swapRoute caches a pair's block-row/row-in-block coordinates so the
@@ -715,6 +735,9 @@ func (g *grid2d) rowProc(global int) int { return (global / g.nb) % g.P }
 // modified) blocks in the shared column order, so both ends of every
 // link agree on the layout without any per-row headers.
 func (g *grid2d) swapExchange(k int, pairs []swapPair, order []int) (*stageSwap, error) {
+	if g.mixed() {
+		return g.swapExchange32(k, pairs, order)
+	}
 	s := &stageSwap{stash: map[int][]float64{}, off: make([]int, g.P)}
 	if len(pairs) == 0 {
 		return s, nil
@@ -782,6 +805,10 @@ func (s *stageSwap) apply(g *grid2d, jb int) {
 	if len(s.routes) == 0 {
 		return
 	}
+	if g.mixed() {
+		s.apply32(g, jb)
+		return
+	}
 	_, w := g.blockDims(0, jb)
 	if len(s.localIdx) > 0 {
 		if cap(s.snap) < len(s.localIdx)*w {
@@ -827,6 +854,14 @@ type pipeJob struct {
 	lane    int
 	iter    int
 	signal  chan struct{}
+
+	// FP32 operands of a mixed-precision job (blocks32 non-empty marks
+	// the job mixed; the FP64 fields above stay nil then).
+	blocks32 []*matrix.Dense32
+	ls32     []*matrix.Dense32
+	u32      *matrix.Dense32
+	pls32    []*blas.SPrepackedA
+	pu32     *blas.SPrepackedB
 }
 
 // pipeline runs trailing-update GEMM jobs on a single worker goroutine,
@@ -876,6 +911,10 @@ func (p *pipeline) runJob(job pipeJob) {
 			p.setErr(fmt.Errorf("hpl: trailing-update worker panicked: %v", r))
 		}
 	}()
+	if len(job.blocks32) > 0 {
+		p.runJob32(job)
+		return
+	}
 	// The packed U is private to this job; the packed L panels belong to
 	// the stage cache and outlive it.
 	defer job.pu.Release()
@@ -996,6 +1035,10 @@ func (g *grid2d) drainPipe() error { return g.pipe.drain() }
 // enqueueUpdate hands column j's stage-k trailing update to the
 // asynchronous worker.
 func (g *grid2d) enqueueUpdate(k, j int) {
+	if g.mixed() {
+		g.enqueueUpdate32(k, j)
+		return
+	}
 	var blocks, ls []*matrix.Dense
 	var rows []int
 	if !g.pipe.deferred() {

@@ -7,6 +7,7 @@ import (
 
 	"phihpl/internal/blas"
 	"phihpl/internal/matrix"
+	"phihpl/internal/trace"
 )
 
 // The mixed-precision solve (HPL-MxP / HPL-AI scheme): factor A entirely
@@ -168,30 +169,61 @@ func SolveMixedCtx(ctx context.Context, a *matrix.Dense, b []float64, opts Optio
 		return fallbackFP64(ctx, a, b, opts, rep, FallbackSingular)
 	}
 
-	x = blas.LUSolveMixed(a32, piv, b)
+	x, residual, rep.Iterations, rep.Reason, err = RefineMixed(ctx, a, a32, piv, b, rec)
+	if err != nil {
+		return nil, 0, rep, err
+	}
+	if rep.Reason != FallbackNone {
+		why := rep.Reason
+		rep.Reason = FallbackNone // fallbackFP64 stamps it
+		return fallbackFP64(ctx, a, b, opts, rep, why)
+	}
+	rep.Residual = residual
+	return x, residual, rep, nil
+}
+
+// RefineMixed is the FP64 iterative-refinement ladder against prefactored
+// FP32 LU factors, shared by the shared-memory mixed solve and the 2D
+// distributed drivers. lu32 holds the in-place FP32 factors of (a rounded
+// to single precision), piv the absolute-row pivot swaps (piv[k]=p means
+// rows k and p were swapped at step k — the globalPiv format of the
+// distributed drivers). It substitutes b through the factors, then
+// refines: FP64 residual against the original a, FP64 correction solve
+// against the FP32 factors, x += δ, until the scaled residual is a decade
+// under the HPL bar, the step budget (DefaultRefineSteps) runs out, or
+// progress stalls. A stalled-or-capped iterate that still clears the HPL
+// bar is accepted.
+//
+// On acceptance why is FallbackNone; otherwise why says what went wrong
+// (FallbackStalled, FallbackNonFinite) and the caller picks its own FP64
+// fallback — re-solving locally (SolveMixed) or re-running the distributed
+// FP64 path (the 2D drivers). err is non-nil only for ctx cancellation,
+// observed between refinement steps. Spans (worker 0): "Refine" per
+// correction solve. Counter: lu.refine_iters.
+func RefineMixed(ctx context.Context, a *matrix.Dense, lu32 *matrix.Dense32, piv []int, b []float64, rec *trace.Recorder) (x []float64, res float64, iters int, why FallbackReason, err error) {
+	x = blas.LUSolveMixed(lu32, piv, b)
 	prev := math.Inf(1)
+	var t0 float64
 	for {
 		if err := ctx.Err(); err != nil {
-			return nil, 0, rep, err
+			return nil, 0, iters, FallbackNone, err
 		}
-		res := matrix.Residual(a, x, b)
+		res = matrix.Residual(a, x, b)
 		if math.IsNaN(res) || math.IsInf(res, 0) {
-			return fallbackFP64(ctx, a, b, opts, rep, FallbackNonFinite)
+			return nil, 0, iters, FallbackNonFinite, nil
 		}
 		if res <= refineTarget {
-			rep.Residual = res
-			return x, res, rep, nil
+			return x, res, iters, FallbackNone, nil
 		}
 		stalled := res >= prev/2
-		if (stalled || rep.Iterations >= DefaultRefineSteps) && rep.Iterations > 0 {
+		if (stalled || iters >= DefaultRefineSteps) && iters > 0 {
 			// No longer improving (or out of budget). Accept the iterate if
 			// it clears the HPL bar anyway; otherwise give up on the FP32
 			// factors.
 			if res < matrix.ResidualThreshold {
-				rep.Residual = res
-				return x, res, rep, nil
+				return x, res, iters, FallbackNone, nil
 			}
-			return fallbackFP64(ctx, a, b, opts, rep, FallbackStalled)
+			return nil, 0, iters, FallbackStalled, nil
 		}
 		prev = res
 
@@ -199,12 +231,12 @@ func SolveMixedCtx(ctx context.Context, a *matrix.Dense, b []float64, opts Optio
 			t0 = rec.Start()
 		}
 		r := residVec(a, x, b)
-		delta := blas.LUSolveMixed(a32, piv, r)
+		delta := blas.LUSolveMixed(lu32, piv, r)
 		blas.Daxpy(1, delta, x)
-		rep.Iterations++
+		iters++
 		mRefineIters.Load().Inc()
 		if rec != nil {
-			rec.Since(0, "Refine", rep.Iterations-1, t0)
+			rec.Since(0, "Refine", iters-1, t0)
 		}
 	}
 }

@@ -52,6 +52,16 @@ func (m *Dense32) Clone() *Dense32 {
 	return out
 }
 
+// CopyFrom copies src into m element-wise; the shapes must match.
+func (m *Dense32) CopyFrom(src *Dense32) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic("matrix: CopyFrom dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		copy(m.Row(i), src.Row(i))
+	}
+}
+
 // ToDense32 rounds m to single precision (round-to-nearest per element),
 // the demotion step that starts a mixed-precision solve.
 func (m *Dense) ToDense32() *Dense32 {

@@ -65,9 +65,9 @@ type Mode string
 // Solver modes.
 const (
 	ModeNative   Mode = "native"   // shared-memory dynamic-DAG solve (supports precision=mixed)
-	ModeDist2D   Mode = "dist2d"   // P×Q block-cyclic distributed solve
-	ModeHybrid2D Mode = "hybrid2d" // dist2d with offload-engine trailing updates
-	ModeFT       Mode = "ft"       // fault-tolerant dist2d (supports a fault plan)
+	ModeDist2D   Mode = "dist2d"   // P×Q block-cyclic distributed solve (supports precision=mixed)
+	ModeHybrid2D Mode = "hybrid2d" // dist2d with offload-engine trailing updates (supports precision=mixed)
+	ModeFT       Mode = "ft"       // fault-tolerant dist2d (supports a fault plan; FP64 only)
 )
 
 // JobSpec is the wire format of POST /v1/solve. Zero fields take server
@@ -81,7 +81,7 @@ type JobSpec struct {
 	P         int    `json:"p,omitempty"`         // process rows (default 1; dist modes 2)
 	Q         int    `json:"q,omitempty"`         // process cols (default 1; dist modes 2)
 	Seed      uint64 `json:"seed,omitempty"`      // matrix seed (default 1)
-	Precision string `json:"precision,omitempty"` // fp64 | mixed (native only)
+	Precision string `json:"precision,omitempty"` // fp64 | mixed (all modes except ft)
 	Lookahead string `json:"lookahead,omitempty"` // none | basic | pipelined (dist modes)
 	Faults    string `json:"faults,omitempty"`    // fault plan spec (ft only)
 
@@ -118,9 +118,9 @@ var tenantRe = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
 
 // Validate checks js against the server limits and returns the normalized
 // Spec. Every failure is a *BadRequestError naming the offending field;
-// an unsupported-but-well-formed combination (mixed precision outside the
-// native mode) is a *BadRequestError with Code "unsupported", mirroring
-// cmd/hpl's exit-code-3 contract.
+// an unsupported-but-well-formed combination (mixed precision with the
+// fault-tolerant mode) is a *BadRequestError with Code "unsupported",
+// mirroring cmd/hpl's exit-code-3 contract.
 func (js JobSpec) Validate(cfg Config) (Spec, error) {
 	sp := Spec{
 		Tenant:  js.Tenant,
@@ -181,12 +181,14 @@ func (js JobSpec) Validate(cfg Config) (Spec, error) {
 	if sp.Precision, err = phihpl.ParsePrecisionMode(defaultStr(js.Precision, "fp64")); err != nil {
 		return Spec{}, badField("precision", "%v", err)
 	}
-	if sp.Precision == phihpl.PrecisionMixed && sp.Mode != ModeNative {
+	if sp.Precision == phihpl.PrecisionMixed && sp.Mode == ModeFT {
 		return Spec{}, &BadRequestError{
 			Field: "precision",
 			Code:  "unsupported",
-			Msg: fmt.Sprintf("precision \"mixed\" is only supported by mode \"native\"; "+
-				"the %q driver factors in FP64 only (same contract as cmd/hpl exit code 3)", sp.Mode),
+			Msg: "precision \"mixed\" cannot be combined with mode \"ft\": the fault-tolerant solver's " +
+				"ABFT checksum columns and checkpoints protect FP64 state only, and a mixed FP64 fallback " +
+				"re-run would be indistinguishable from a rollback — use mode \"dist2d\", \"hybrid2d\" or " +
+				"\"native\" for mixed, or precision \"fp64\" with \"ft\" (same contract as cmd/hpl exit code 3)",
 		}
 	}
 	if sp.Lookahead, err = phihpl.ParseLookaheadMode(defaultStr(js.Lookahead, "pipelined")); err != nil {
@@ -238,21 +240,26 @@ func defaultStr(s, d string) string {
 // MemEstimate is the admission gate's rough per-job matrix footprint: the
 // FP64 system plus vectors, doubled again for the distributed drivers
 // (per-rank local blocks + the root's gathered copy) and once more for
-// ABFT checksums and checkpoints. Deliberately pessimistic — the gate
-// exists to queue jobs rather than OOM, not to pack memory tightly.
+// ABFT checksums and checkpoints. A mixed-precision job additionally
+// carries an FP32 shadow of the matrix (half the FP64 bytes — the n²
+// float32 mirror for native, the distributed FP32 blocks plus the root's
+// gathered FP32 factors for the 2D drivers). Deliberately pessimistic —
+// the gate exists to queue jobs rather than OOM, not to pack memory
+// tightly.
 func (sp Spec) MemEstimate() int64 {
 	n := int64(sp.N)
 	base := 8 * (n*n + 8*n)
+	shadow := int64(0)
+	if sp.Precision == phihpl.PrecisionMixed {
+		shadow = 4 * n * n
+	}
 	switch sp.Mode {
 	case ModeNative:
-		if sp.Precision == phihpl.PrecisionMixed {
-			base += 4 * n * n // FP32 mirror held alongside the FP64 system
-		}
-		return base
+		return base + shadow
 	case ModeFT:
-		return 4 * base
-	default: // dist2d, hybrid2d
-		return 3 * base
+		return 4 * base // ft+mixed is rejected by Validate; no shadow term
+	default: // dist2d, hybrid2d: per-rank blocks + root's gathered copy
+		return 3*base + 2*shadow
 	}
 }
 

@@ -22,9 +22,9 @@ func DefaultRunner(ctx context.Context, sp Spec, rec *trace.Recorder) (phihpl.So
 		}
 		return phihpl.SolveTracedContext(ctx, sp.N, phihpl.DynamicDAG, sp.NB, sp.Workers, sp.Seed, rec)
 	case ModeDist2D:
-		return phihpl.SolveDistributed2DModeCtx(ctx, sp.N, sp.NB, sp.P, sp.Q, sp.Seed, sp.Lookahead, rec)
+		return phihpl.SolveDistributed2DPrecisionCtx(ctx, sp.N, sp.NB, sp.P, sp.Q, sp.Seed, sp.Lookahead, sp.Precision, rec)
 	case ModeHybrid2D:
-		return phihpl.SolveHybrid2DModeCtx(ctx, sp.N, sp.NB, sp.P, sp.Q, sp.Seed, sp.Lookahead, rec)
+		return phihpl.SolveHybrid2DPrecisionCtx(ctx, sp.N, sp.NB, sp.P, sp.Q, sp.Seed, sp.Lookahead, sp.Precision, rec)
 	case ModeFT:
 		cfg := phihpl.FTConfig{
 			Plan:            sp.Plan,

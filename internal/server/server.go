@@ -22,8 +22,8 @@ type Config struct {
 	TenantCap     int            // max running jobs per tenant (default max(1, Concurrency/2))
 	TenantWeights map[string]int // WRR dequeue weights (default 1 per tenant)
 
-	MaxN     int   // largest accepted problem size (default 4096)
-	MaxGrid  int   // largest accepted P*Q (default 16)
+	MaxN      int   // largest accepted problem size (default 4096)
+	MaxGrid   int   // largest accepted P*Q (default 16)
 	MemBudget int64 // running-jobs footprint budget in bytes (default 4 GiB)
 
 	DefaultTimeout time.Duration // per-job deadline when the spec has none (default 1m)
@@ -633,4 +633,3 @@ func (s *Server) Close() {
 	cancel() // already expired: Drain skips straight to cancellation
 	_ = s.Drain(ctx)
 }
-

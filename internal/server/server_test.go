@@ -99,7 +99,6 @@ func TestValidationTypedErrors(t *testing.T) {
 		{"bad nb", JobSpec{N: 64, NB: -4}, 400, "invalid"},
 		{"bad tenant", JobSpec{N: 64, Tenant: "no spaces!"}, 400, "invalid"},
 		{"grid too big", JobSpec{N: 64, Mode: "dist2d", P: 8, Q: 8}, 400, "invalid"},
-		{"mixed on dist2d", JobSpec{N: 64, Mode: "dist2d", Precision: mixed}, 400, "unsupported"},
 		{"mixed on ft", JobSpec{N: 64, Mode: "ft", Precision: mixed}, 400, "unsupported"},
 		{"faults on native", JobSpec{N: 64, Faults: "seed=1;drop=0.1"}, 400, "unsupported"},
 		{"bad fault plan", JobSpec{N: 64, Mode: "ft", Faults: "garbage==="}, 400, "invalid"},
@@ -620,6 +619,8 @@ func TestRealSolves(t *testing.T) {
 		`{"mode":"native","n":64,"nb":16,"workers":2,"seed":1}`,
 		`{"mode":"native","n":96,"nb":16,"workers":2,"seed":2,"precision":"mixed"}`,
 		`{"mode":"dist2d","n":48,"nb":16,"p":2,"q":2,"seed":3}`,
+		`{"mode":"dist2d","n":64,"nb":16,"p":2,"q":2,"seed":5,"precision":"mixed"}`,
+		`{"mode":"hybrid2d","n":64,"nb":16,"p":2,"q":2,"seed":6,"precision":"mixed"}`,
 		`{"mode":"ft","n":48,"nb":16,"p":2,"q":2,"seed":4,"faults":"seed=9;drop=0.05"}`,
 	}
 	var ids []string

@@ -265,6 +265,35 @@ func SolveHybrid2DMode(n, nb, p, q int, seed uint64, mode LookaheadMode) (SolveR
 	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n, Seconds: r.Seconds}, nil
 }
 
+// SolveDistributed2DPrecision is SolveDistributed2DMode with an explicit
+// precision: PrecisionFP64 is the plain driver, PrecisionMixed runs the
+// distributed HPL-MxP scheme — FP32 panel factorization, broadcasts,
+// swaps and packed trailing updates across the grid, then FP64 iterative
+// refinement on the root (Result.Refine carries the iteration count).
+// When the matrix is beyond single precision's reach the driver re-runs
+// the FP64 path automatically and Refine records the typed reason; the
+// verdict is the same HPL residual bar either way.
+func SolveDistributed2DPrecision(n, nb, p, q int, seed uint64, mode LookaheadMode, prec PrecisionMode) (SolveResult, error) {
+	r, err := hpl.SolveDistributed2DPrecision(n, nb, p, q, seed, mode, prec)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n, Seconds: r.Seconds, Refine: r.Refine}, nil
+}
+
+// SolveHybrid2DPrecision is SolveHybrid2DMode with an explicit precision.
+// The offload engine computes in FP64 only, so a mixed hybrid solve
+// routes its trailing updates through the FP32 packed host path — bitwise
+// identical to the plain mixed driver — and keeps the offload engine for
+// the FP64 fallback re-run.
+func SolveHybrid2DPrecision(n, nb, p, q int, seed uint64, mode LookaheadMode, prec PrecisionMode) (SolveResult, error) {
+	r, err := hpl.SolveDistributed2DHybridPrecision(n, nb, p, q, seed, mode, prec)
+	if err != nil {
+		return SolveResult{}, err
+	}
+	return SolveResult{X: r.X, Residual: r.Residual, Passed: passed(r.Residual), N: n, Seconds: r.Seconds, Refine: r.Refine}, nil
+}
+
 // ParseFaultPlan parses a fault-injection spec like
 //
 //	"seed=7;drop=0.02;delay=0.01:2ms;corrupt=0.01;crash=3@2;stall=1@4:300ms;scrub=2@3"

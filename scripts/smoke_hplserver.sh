@@ -1,8 +1,9 @@
 #!/bin/sh
 # End-to-end smoke for cmd/hplserver: start the server, submit a small
-# FP64 solve and a mixed-precision solve over HTTP, wait for both to
-# PASS, then SIGTERM and require a clean drain (exit 0). Run from the
-# repo root; CI runs it on every push.
+# FP64 solve, a native mixed-precision solve, and a 2D-distributed
+# mixed solve over HTTP, wait for all to PASS, then SIGTERM and require
+# a clean drain (exit 0). Run from the repo root; CI runs it on every
+# push.
 set -eu
 
 ADDR="${HPLSERVER_ADDR:-127.0.0.1:18080}"
@@ -60,12 +61,16 @@ await() {
 
 J1=$(submit '{"mode":"native","n":96,"nb":32,"workers":2,"seed":42}')
 J2=$(submit '{"mode":"native","n":96,"nb":32,"workers":2,"seed":7,"precision":"mixed"}')
+J3=$(submit '{"mode":"dist2d","n":96,"nb":16,"p":2,"q":2,"seed":7,"precision":"mixed"}')
 await "$J1"
 await "$J2"
+await "$J3"
 
-# The mixed job must report its refinement route.
+# The mixed jobs must report their refinement route.
 curl -sf "$BASE/v1/jobs/$J2" | grep -q '"refine"' \
-    || fail "mixed job carries no refinement report"
+    || fail "native mixed job carries no refinement report"
+curl -sf "$BASE/v1/jobs/$J3" | grep -q '"refine"' \
+    || fail "dist2d mixed job carries no refinement report"
 
 # Counters are visible.
 curl -sf "$BASE/metrics" | grep -q 'server.jobs_passed' \
@@ -78,4 +83,4 @@ wait "$SRV" || rc=$?
 trap - EXIT
 [ "$rc" -eq 0 ] || fail "server exited $rc after SIGTERM"
 
-echo "smoke: PASS ($J1 fp64, $J2 mixed, clean drain)"
+echo "smoke: PASS ($J1 fp64, $J2 mixed, $J3 dist2d-mixed, clean drain)"
