@@ -34,11 +34,13 @@ vet:
 # the multi-tenant solve server (queue, scheduler, cache, drain).
 race:
 	$(GO) vet ./...
-	$(GO) test -race -timeout 10m . ./internal/matrix/... ./internal/blas/... ./internal/pool/... ./internal/pack/... ./internal/lu/... ./internal/offload/... ./internal/cluster/... ./internal/hpl/... ./internal/fault/... ./internal/trace/... ./internal/metrics/... ./internal/server/...
+	$(GO) test -race -timeout 10m . ./internal/matrix/... ./internal/blas/... ./internal/pool/... ./internal/pack/... ./internal/lu/... ./internal/offload/... ./internal/cluster/... ./internal/hpl/... ./internal/fault/... ./internal/trace/... ./internal/metrics/... ./internal/server/... ./internal/journal/...
 
 # smoke: end-to-end hplserver check — start the server, run an FP64, a
-# native mixed, and a 2D-distributed mixed solve over HTTP, SIGTERM,
-# require a clean exit 0.
+# native mixed, and a 2D-distributed mixed solve over HTTP, SIGTERM for
+# a clean exit 0; then the crash-durability phase: SIGKILL a journaled
+# server mid-job and require the restart to recover the cache and abort
+# the interrupted job.
 smoke:
 	sh scripts/smoke_hplserver.sh
 
@@ -59,9 +61,12 @@ bench:
 benchjson:
 	$(GO) run ./cmd/benchjson
 
-# fuzz: a short deep-fuzz of the pack → micro-kernel → unpack chain.
+# fuzz: a short deep-fuzz of the pack → micro-kernel → unpack chain, then
+# of the write-ahead journal's crash-recovery scanner (arbitrary bytes
+# must never panic, and repair accounting must close exactly).
 fuzz:
 	$(GO) test ./internal/blas -fuzz FuzzPackedGemm -fuzztime 30s
+	$(GO) test ./internal/journal -fuzz FuzzJournalDecode -fuzztime 30s
 
 clean:
 	$(GO) clean ./...

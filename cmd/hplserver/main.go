@@ -17,6 +17,15 @@
 // error retries; SIGTERM/SIGINT drains gracefully — admission stops,
 // /readyz flips to 503, queued jobs abort, running jobs get the drain
 // deadline to finish, and the process exits 0.
+//
+// Durability (DESIGN.md §13): -journal enables a write-ahead journal of
+// job state. After a crash (SIGKILL, OOM, power loss) the next start
+// replays it — completed results and the deterministic-spec cache
+// survive verbatim, queued jobs are re-enqueued and run, and jobs that
+// were mid-solve are marked ABORTED with a typed "interrupted" error.
+// /readyz answers 503 {"status":"recovering"} until replay completes.
+//
+//	hplserver -addr :8080 -journal /var/lib/hplserver/wal.journal
 package main
 
 import (
@@ -56,6 +65,10 @@ func main() {
 		maxTimeout  = flag.Duration("max-job-timeout", 5*time.Minute, "ceiling on any per-job deadline")
 		retries     = flag.Int("retries", 2, "default transient-error retry budget per job")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT before in-flight jobs are cancelled")
+
+		journalPath  = flag.String("journal", "", "write-ahead journal file for durable job state ('' = in-memory only)")
+		compactEvery = flag.Int("journal-compact-every", 4096, "journal records between snapshot compactions (<0 disables)")
+		preemptGrace = flag.Duration("preempt-grace", 3*time.Second, "window a cancelled solve gets to unwind before it is force-finalized")
 	)
 	flag.Parse()
 
@@ -75,7 +88,7 @@ func main() {
 	hpl.SetMetrics(reg)
 	lu.SetMetrics(reg)
 
-	srv := server.New(server.Config{
+	srv, err := server.Open(server.Config{
 		QueueDepth:     *queue,
 		Concurrency:    *concurrency,
 		TenantCap:      *tenantCap,
@@ -87,7 +100,34 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		DefaultRetries: *retries,
 		Metrics:        reg,
+		JournalPath:    *journalPath,
+		CompactEvery:   *compactEvery,
+		PreemptGrace:   *preemptGrace,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	// Recovery banner: log what the journal replay found as soon as it
+	// settles (immediately when -journal is unset). Readiness (/readyz)
+	// flips 503 "recovering" -> 200 at the same moment.
+	go func() {
+		st, err := srv.WaitRecovered(context.Background())
+		if err != nil {
+			return
+		}
+		if *journalPath == "" {
+			return
+		}
+		log.Printf("journal replay done (boot generation %d): %d terminal restored, %d cache entries, "+
+			"%d requeued, %d interrupted, %d invalid",
+			st.Generation, st.RestoredTerminal, st.RestoredCache, st.Requeued, st.Interrupted, st.Invalid)
+		if js := st.Journal; js.Damaged() {
+			log.Printf("journal repair: %d torn bytes truncated, %d CRC-corrupt frames skipped, bad header=%v",
+				js.TruncatedBytes, js.SkippedCRC, js.BadHeader)
+		}
+	}()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,382 @@
+// Package journal is an append-only, fsync-on-commit write-ahead log of
+// opaque records, built for the solve server's durable job state but
+// usable by anything that needs crash-consistent replay.
+//
+// On-disk format:
+//
+//	file   := magic frame*
+//	magic  := "PHIWAL01"                        (8 bytes)
+//	frame  := len crc payload
+//	len    := uint32 little-endian              (payload bytes, 1..MaxFrame)
+//	crc    := uint32 little-endian              (CRC-32C / Castagnoli of payload)
+//
+// Durability contract: Append writes one frame and fsyncs before
+// returning, so a record handed back by a later Open was on stable
+// storage when Append returned — write-ahead in the WAL sense.
+//
+// Recovery contract ("never refuse to start"): Open tolerates every
+// damage mode a crash can leave behind. A torn tail (partial header or
+// payload, or an insane length word) is truncated away; a mid-log frame
+// whose CRC does not match — bit rot, a torn sector rewrite — is skipped
+// and counted while the frames after it are still replayed; a missing or
+// foreign magic header resets the file. Every repair is reported in
+// ScanStats so the caller can warn, but none of them is an error.
+//
+// Compaction: Compact atomically replaces the log with a caller-provided
+// snapshot (written to a temp file, fsynced, renamed over the old log),
+// bounding the file and the next replay at a point-in-time state the
+// caller serializes with the same record schema it appends.
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"phihpl/internal/metrics"
+)
+
+const (
+	magicLen  = 8
+	headerLen = 8 // per frame: 4-byte length + 4-byte CRC-32C
+
+	// DefaultMaxFrame bounds a single payload. A length word above the
+	// bound is treated as tail corruption, not an allocation request.
+	DefaultMaxFrame = 16 << 20
+)
+
+var (
+	magic      = []byte("PHIWAL01")
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+	// ErrClosed is returned by Append/Compact after Close.
+	ErrClosed = errors.New("journal: closed")
+)
+
+// ScanStats reports what Open's recovery scan found and repaired.
+type ScanStats struct {
+	Frames         int   // intact frames replayed
+	SkippedCRC     int   // structurally sound frames dropped on CRC mismatch
+	TruncatedBytes int64 // torn-tail bytes discarded
+	CleanLen       int64 // file length after repair (magic + sound frames)
+	BadHeader      bool  // magic was missing/foreign; the file was reset
+}
+
+// Damaged reports whether the scan had to repair anything.
+func (st ScanStats) Damaged() bool {
+	return st.SkippedCRC > 0 || st.TruncatedBytes > 0 || st.BadHeader
+}
+
+// Stats is a point-in-time view of a journal's lifetime activity.
+type Stats struct {
+	Scan        ScanStats
+	Appends     int64
+	Compactions int64
+}
+
+// Options configures Open. The zero value is usable.
+type Options struct {
+	// Metrics receives the journal.* counters (appends, fsyncs,
+	// replayed/skipped frames, truncated bytes, compactions, errors).
+	// nil = unmetered.
+	Metrics *metrics.Registry
+	// MaxFrame overrides DefaultMaxFrame (tests shrink it).
+	MaxFrame int
+}
+
+// Journal is an open write-ahead log. All methods are safe for
+// concurrent use; appends are serialized.
+type Journal struct {
+	path     string
+	maxFrame int
+
+	mu          sync.Mutex
+	f           *os.File
+	scan        ScanStats
+	records     [][]byte // decoded at Open, handed out once via TakeRecords
+	appends     int64
+	compactions int64
+
+	mAppends, mFsyncs, mErrors       *metrics.Counter
+	mReplayed, mSkipped, mTruncBytes *metrics.Counter
+	mCompactions                     *metrics.Counter
+}
+
+// Decode parses a journal image into the payloads of its intact frames.
+// It never fails: damage is reported through ScanStats exactly as Open
+// would repair it. Empty input is a fresh journal, not damage.
+func Decode(data []byte, maxFrame int) ([][]byte, ScanStats) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var st ScanStats
+	if len(data) == 0 {
+		return nil, st
+	}
+	if len(data) < magicLen || !bytes.Equal(data[:magicLen], magic) {
+		st.BadHeader = true
+		st.TruncatedBytes = int64(len(data))
+		return nil, st
+	}
+	var out [][]byte
+	off := magicLen
+	clean := off
+	for {
+		if len(data)-off < headerLen {
+			break // clean EOF or torn header
+		}
+		ln := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if ln == 0 || int64(ln) > int64(maxFrame) {
+			break // insane length word: cannot trust the framing past here
+		}
+		if int64(len(data)-off-headerLen) < int64(ln) {
+			break // torn payload
+		}
+		payload := data[off+headerLen : off+headerLen+int(ln)]
+		off += headerLen + int(ln)
+		if crc32.Checksum(payload, castagnoli) != sum {
+			// The framing is sound (length fit, payload complete), only the
+			// bytes are rotten: drop this record, keep replaying the rest.
+			st.SkippedCRC++
+			clean = off
+			continue
+		}
+		out = append(out, append([]byte(nil), payload...))
+		st.Frames++
+		clean = off
+	}
+	st.TruncatedBytes = int64(len(data) - clean)
+	st.CleanLen = int64(clean)
+	return out, st
+}
+
+// EncodeFrame frames one payload (length + CRC-32C + bytes).
+func EncodeFrame(payload []byte) []byte {
+	out := make([]byte, headerLen+len(payload))
+	binary.LittleEndian.PutUint32(out, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:], crc32.Checksum(payload, castagnoli))
+	copy(out[headerLen:], payload)
+	return out
+}
+
+// Image builds a complete journal file image (magic + frames) from
+// payloads — what Compact writes, and what tests and the fuzzer use to
+// construct journals byte-for-byte.
+func Image(payloads [][]byte) []byte {
+	out := append([]byte(nil), magic...)
+	for _, p := range payloads {
+		out = append(out, EncodeFrame(p)...)
+	}
+	return out
+}
+
+// Open reads, repairs and opens the journal at path, creating it if
+// absent. The decoded pre-crash records are available once via
+// TakeRecords; subsequent Appends land after the repaired tail.
+func Open(path string, opt Options) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	records, st := Decode(data, opt.MaxFrame)
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	// Repair in place: drop the unusable tail (or the whole foreign file)
+	// and make sure the magic header exists before the first append.
+	cleanLen := st.CleanLen
+	if len(data) == 0 || st.BadHeader {
+		cleanLen = 0
+	}
+	if cleanLen == 0 {
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: reset %s: %w", path, err)
+		}
+		if _, err := f.Write(magic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: write header %s: %w", path, err)
+		}
+		cleanLen = magicLen
+	} else if cleanLen < int64(len(data)) {
+		if err := f.Truncate(cleanLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: sync %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: seek %s: %w", path, err)
+	}
+	syncDir(path)
+
+	mf := opt.MaxFrame
+	if mf <= 0 {
+		mf = DefaultMaxFrame
+	}
+	j := &Journal{path: path, maxFrame: mf, f: f, scan: st, records: records}
+	if r := opt.Metrics; r != nil {
+		j.mAppends = r.Counter("journal.appends")
+		j.mFsyncs = r.Counter("journal.fsyncs")
+		j.mErrors = r.Counter("journal.errors")
+		j.mReplayed = r.Counter("journal.replayed_frames")
+		j.mSkipped = r.Counter("journal.skipped_crc_frames")
+		j.mTruncBytes = r.Counter("journal.truncated_bytes")
+		j.mCompactions = r.Counter("journal.compactions")
+	}
+	j.mReplayed.Add(int64(st.Frames))
+	j.mSkipped.Add(int64(st.SkippedCRC))
+	j.mTruncBytes.Add(st.TruncatedBytes)
+	return j, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// ScanStats returns what the opening scan found.
+func (j *Journal) ScanStats() ScanStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.scan
+}
+
+// Stats snapshots the journal's lifetime activity.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{Scan: j.scan, Appends: j.appends, Compactions: j.compactions}
+}
+
+// TakeRecords hands out the records decoded at Open exactly once (the
+// replay pass), releasing the journal's reference to them.
+func (j *Journal) TakeRecords() [][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r := j.records
+	j.records = nil
+	return r
+}
+
+// Append commits one record: frame, write, fsync. When Append returns
+// nil the record will survive a crash.
+func (j *Journal) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return errors.New("journal: empty payload")
+	}
+	if len(payload) > j.maxFrame {
+		return fmt.Errorf("journal: payload %d bytes exceeds frame bound %d", len(payload), j.maxFrame)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return ErrClosed
+	}
+	if _, err := j.f.Write(EncodeFrame(payload)); err != nil {
+		j.mErrors.Inc()
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		j.mErrors.Inc()
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.appends++
+	j.mAppends.Inc()
+	j.mFsyncs.Inc()
+	return nil
+}
+
+// Compact atomically replaces the log with the given snapshot records:
+// they are written to a temp file, fsynced, and renamed over the old
+// log, so a crash at any point leaves either the old or the new journal,
+// never a mix. The caller serializes its current state with the same
+// schema it appends — after compaction a replay yields that state.
+func (j *Journal) Compact(snapshot [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return ErrClosed
+	}
+	tmp := j.path + ".compact"
+	tf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		j.mErrors.Inc()
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if _, err := tf.Write(Image(snapshot)); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		j.mErrors.Inc()
+		return fmt.Errorf("journal: compact write: %w", err)
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		j.mErrors.Inc()
+		return fmt.Errorf("journal: compact fsync: %w", err)
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		j.mErrors.Inc()
+		return fmt.Errorf("journal: compact close: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		j.mErrors.Inc()
+		return fmt.Errorf("journal: compact rename: %w", err)
+	}
+	syncDir(j.path)
+	nf, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		j.mErrors.Inc()
+		return fmt.Errorf("journal: reopen after compact: %w", err)
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		j.mErrors.Inc()
+		return fmt.Errorf("journal: seek after compact: %w", err)
+	}
+	j.f.Close()
+	j.f = nf
+	j.compactions++
+	j.mCompactions.Inc()
+	return nil
+}
+
+// Close flushes and closes the file. Further Appends return ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// syncDir best-effort fsyncs the directory holding path, making the
+// create/rename itself durable where the platform supports it.
+func syncDir(path string) {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	d.Close()
+}

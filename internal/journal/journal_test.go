@@ -1,0 +1,313 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"phihpl/internal/metrics"
+)
+
+func tempPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "wal.journal")
+}
+
+func mustOpen(t *testing.T, path string, opt Options) *Journal {
+	t.Helper()
+	j, err := Open(path, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return j
+}
+
+func appendAll(t *testing.T, j *Journal, payloads ...string) {
+	t.Helper()
+	for _, p := range payloads {
+		if err := j.Append([]byte(p)); err != nil {
+			t.Fatalf("Append(%q): %v", p, err)
+		}
+	}
+}
+
+func records(t *testing.T, j *Journal) []string {
+	t.Helper()
+	var out []string
+	for _, r := range j.TakeRecords() {
+		out = append(out, string(r))
+	}
+	return out
+}
+
+func wantRecords(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("records = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := tempPath(t)
+	j := mustOpen(t, path, Options{})
+	appendAll(t, j, "alpha", "beta", "a longer third record with bytes \x00\x01\xff")
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2 := mustOpen(t, path, Options{})
+	defer j2.Close()
+	wantRecords(t, records(t, j2), "alpha", "beta", "a longer third record with bytes \x00\x01\xff")
+	if st := j2.ScanStats(); st.Damaged() {
+		t.Errorf("clean journal reported damage: %+v", st)
+	}
+	// Records are handed out exactly once.
+	if r := j2.TakeRecords(); r != nil {
+		t.Errorf("second TakeRecords = %q, want nil", r)
+	}
+}
+
+func TestEmptyAndAbsentJournal(t *testing.T) {
+	path := tempPath(t)
+	// Absent file: fresh journal, no damage.
+	j := mustOpen(t, path, Options{})
+	if r := j.TakeRecords(); len(r) != 0 {
+		t.Errorf("fresh journal has %d records", len(r))
+	}
+	if st := j.ScanStats(); st.Damaged() {
+		t.Errorf("fresh journal reported damage: %+v", st)
+	}
+	j.Close()
+
+	// Zero-byte file (crash between create and header write): same.
+	empty := filepath.Join(t.TempDir(), "empty.journal")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2 := mustOpen(t, empty, Options{})
+	defer j2.Close()
+	if r := j2.TakeRecords(); len(r) != 0 {
+		t.Errorf("empty journal has %d records", len(r))
+	}
+	appendAll(t, j2, "first")
+}
+
+func TestTruncatedFinalFrame(t *testing.T) {
+	path := tempPath(t)
+	j := mustOpen(t, path, Options{})
+	appendAll(t, j, "keep-1", "keep-2")
+	j.Close()
+
+	// Tear the tail: a partial frame (header + half the payload) as a
+	// crash mid-write would leave it.
+	torn := append([]byte(nil), EncodeFrame([]byte("torn-away-record"))...)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)-7]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2 := mustOpen(t, path, Options{})
+	wantRecords(t, records(t, j2), "keep-1", "keep-2")
+	st := j2.ScanStats()
+	if st.TruncatedBytes != int64(len(torn)-7) {
+		t.Errorf("TruncatedBytes = %d, want %d", st.TruncatedBytes, len(torn)-7)
+	}
+	// The repair is physical: the file was truncated back to the clean
+	// prefix and appends continue from there.
+	appendAll(t, j2, "after-repair")
+	j2.Close()
+	if fi, _ := os.Stat(path); fi == nil {
+		t.Fatal("journal vanished")
+	}
+	j3 := mustOpen(t, path, Options{})
+	defer j3.Close()
+	wantRecords(t, records(t, j3), "keep-1", "keep-2", "after-repair")
+	if st := j3.ScanStats(); st.Damaged() {
+		t.Errorf("repaired journal still reports damage: %+v", st)
+	}
+}
+
+func TestCorruptMidLogFrameSkipped(t *testing.T) {
+	path := tempPath(t)
+	j := mustOpen(t, path, Options{})
+	appendAll(t, j, "good-1", "rot-me", "good-2")
+	j.Close()
+
+	// Flip one payload byte of the middle frame: framing stays sound, the
+	// CRC does not.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := magicLen + headerLen + len("good-1") + headerLen // first byte of "rot-me"
+	data[off] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := metrics.NewRegistry()
+	j2 := mustOpen(t, path, Options{Metrics: reg})
+	defer j2.Close()
+	wantRecords(t, records(t, j2), "good-1", "good-2")
+	st := j2.ScanStats()
+	if st.SkippedCRC != 1 {
+		t.Errorf("SkippedCRC = %d, want 1", st.SkippedCRC)
+	}
+	if st.TruncatedBytes != 0 {
+		t.Errorf("TruncatedBytes = %d, want 0 (frames after the rot must survive)", st.TruncatedBytes)
+	}
+	if got := reg.Counter("journal.skipped_crc_frames").Value(); got != 1 {
+		t.Errorf("journal.skipped_crc_frames = %d, want 1", got)
+	}
+	if got := reg.Counter("journal.replayed_frames").Value(); got != 2 {
+		t.Errorf("journal.replayed_frames = %d, want 2", got)
+	}
+}
+
+func TestForeignFileReset(t *testing.T) {
+	path := tempPath(t)
+	if err := os.WriteFile(path, []byte("definitely not a journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j := mustOpen(t, path, Options{})
+	if r := j.TakeRecords(); len(r) != 0 {
+		t.Errorf("foreign file decoded %d records", len(r))
+	}
+	st := j.ScanStats()
+	if !st.BadHeader || st.TruncatedBytes == 0 {
+		t.Errorf("foreign file scan = %+v, want BadHeader + truncation", st)
+	}
+	// Never refuse to start: the file was reset and is appendable.
+	appendAll(t, j, "rebuilt")
+	j.Close()
+	j2 := mustOpen(t, path, Options{})
+	defer j2.Close()
+	wantRecords(t, records(t, j2), "rebuilt")
+}
+
+// TestReplayIdempotence: opening (and thus replaying) the same journal
+// twice without writes yields identical records and stats — and Decode
+// itself is a pure function of the image.
+func TestReplayIdempotence(t *testing.T) {
+	path := tempPath(t)
+	j := mustOpen(t, path, Options{})
+	appendAll(t, j, "r1", "r2", "r3")
+	j.Close()
+
+	j1 := mustOpen(t, path, Options{})
+	r1, st1 := records(t, j1), j1.ScanStats()
+	j1.Close()
+	j2 := mustOpen(t, path, Options{})
+	r2, st2 := records(t, j2), j2.ScanStats()
+	j2.Close()
+	wantRecords(t, r2, r1...)
+	if st1 != st2 {
+		t.Errorf("replay stats differ across identical replays: %+v vs %+v", st1, st2)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, ds1 := Decode(data, 0)
+	d2, ds2 := Decode(data, 0)
+	if len(d1) != len(d2) || ds1 != ds2 {
+		t.Fatalf("Decode not deterministic: %d/%+v vs %d/%+v", len(d1), ds1, len(d2), ds2)
+	}
+	for i := range d1 {
+		if !bytes.Equal(d1[i], d2[i]) {
+			t.Fatalf("Decode record %d differs across calls", i)
+		}
+	}
+}
+
+func TestCompactionSnapshotThenRotate(t *testing.T) {
+	path := tempPath(t)
+	reg := metrics.NewRegistry()
+	j := mustOpen(t, path, Options{Metrics: reg})
+	for i := 0; i < 100; i++ {
+		appendAll(t, j, fmt.Sprintf("tick-%03d", i))
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := j.Compact([][]byte{[]byte("snapshot-a"), []byte("snapshot-b")}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Errorf("compaction did not shrink the log: %d -> %d bytes", before.Size(), after.Size())
+	}
+	if got := reg.Counter("journal.compactions").Value(); got != 1 {
+		t.Errorf("journal.compactions = %d, want 1", got)
+	}
+
+	// Appends continue after the rotate, and replay sees snapshot + tail.
+	appendAll(t, j, "post-compact")
+	j.Close()
+	j2 := mustOpen(t, path, Options{})
+	defer j2.Close()
+	wantRecords(t, records(t, j2), "snapshot-a", "snapshot-b", "post-compact")
+	if _, err := os.Stat(path + ".compact"); !os.IsNotExist(err) {
+		t.Errorf("compaction temp file left behind (err=%v)", err)
+	}
+}
+
+func TestAppendBounds(t *testing.T) {
+	j := mustOpen(t, tempPath(t), Options{MaxFrame: 64})
+	defer j.Close()
+	if err := j.Append(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if err := j.Append(make([]byte, 65)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	if err := j.Append(make([]byte, 64)); err != nil {
+		t.Errorf("boundary payload rejected: %v", err)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j := mustOpen(t, tempPath(t), Options{})
+	j.Close()
+	if err := j.Append([]byte("late")); err != ErrClosed {
+		t.Errorf("append after close = %v, want ErrClosed", err)
+	}
+	if err := j.Compact(nil); err != ErrClosed {
+		t.Errorf("compact after close = %v, want ErrClosed", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("double close = %v, want nil", err)
+	}
+}
+
+// TestInsaneLengthWord: a corrupted length word larger than the frame
+// bound must stop the scan (truncate) rather than allocate or walk off.
+func TestInsaneLengthWord(t *testing.T) {
+	img := Image([][]byte{[]byte("ok")})
+	img = append(img, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0) // len ~2^31
+	img = append(img, []byte("garbage tail")...)
+	recs, st := Decode(img, 0)
+	if len(recs) != 1 || string(recs[0]) != "ok" {
+		t.Fatalf("records = %q, want [ok]", recs)
+	}
+	if st.TruncatedBytes != int64(8+len("garbage tail")) {
+		t.Errorf("TruncatedBytes = %d, want %d", st.TruncatedBytes, 8+len("garbage tail"))
+	}
+}

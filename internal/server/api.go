@@ -16,7 +16,7 @@ import (
 //	GET  /v1/jobs/{id}/stream server-sent progress events until terminal
 //	GET  /metrics             metrics snapshot (JSON; ?format=text for humans)
 //	GET  /healthz             process liveness (200 while the server runs)
-//	GET  /readyz              admission readiness (503 once draining)
+//	GET  /readyz              admission readiness (503 while recovering or draining)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -28,11 +28,13 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		if s.Ready() {
-			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		if ok, reason := s.Readiness(); !ok {
+			// "recovering": journal replay is rebuilding the queue — retry
+			// shortly. "draining": shutdown has begun — go elsewhere.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": reason})
 			return
 		}
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	return mux
 }

@@ -1,0 +1,330 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"phihpl/internal/testutil"
+)
+
+// durableConfig is testConfig plus a journal in a per-test directory.
+func durableConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := testConfig()
+	cfg.JournalPath = filepath.Join(t.TempDir(), "wal.journal")
+	return cfg
+}
+
+// crashImage simulates a SIGKILL: it copies the live journal byte-for-byte
+// to a fresh path without any shutdown handshake. Callers take the copy at
+// a moment with no append in flight (after a terminal wait, or while every
+// live job is parked in a gated runner), which is exactly the durability
+// contract — records are fsynced before their transitions become visible.
+func crashImage(t *testing.T, src string) string {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	dst := filepath.Join(t.TempDir(), "wal.journal")
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatalf("copy journal: %v", err)
+	}
+	return dst
+}
+
+func mustRecover(t *testing.T, s *Server) RecoveryStats {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := s.WaitRecovered(ctx)
+	if err != nil {
+		t.Fatalf("WaitRecovered: %v", err)
+	}
+	return st
+}
+
+func jobJSON(t *testing.T, j *job) string {
+	t.Helper()
+	b, err := json.Marshal(j.view())
+	if err != nil {
+		t.Fatalf("marshal view: %v", err)
+	}
+	return string(b)
+}
+
+// TestCrashRecoveryPreservesTerminalJobsAndCache is the core durability
+// invariant: after a simulated SIGKILL, a completed job's record AND its
+// single-flight cache entry survive restart, and the restored JSON view is
+// byte-for-byte identical to the pre-crash one.
+func TestCrashRecoveryPreservesTerminalJobsAndCache(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	cfg := durableConfig(t)
+	cfg.Runner = passRunner
+	s := New(cfg)
+	mustRecover(t, s)
+
+	j := mustSubmit(t, s, JobSpec{N: 64, Seed: 7})
+	if st := waitTerminal(t, j); st != StatePassed {
+		t.Fatalf("job state %s, want PASSED", st)
+	}
+	before := jobJSON(t, j)
+
+	img := crashImage(t, cfg.JournalPath)
+	s.Close()
+
+	cfg2 := testConfig()
+	cfg2.JournalPath = img
+	cfg2.Runner = passRunner
+	s2 := New(cfg2)
+	defer s2.Close()
+	st := mustRecover(t, s2)
+	if st.RestoredTerminal != 1 || st.RestoredCache != 1 {
+		t.Fatalf("recovery stats = %+v, want 1 terminal + 1 cache", st)
+	}
+	if st.Journal.Damaged() {
+		t.Errorf("clean journal reported damage: %+v", st.Journal)
+	}
+
+	j2, ok := s2.Job(j.id)
+	if !ok {
+		t.Fatalf("job %s lost across restart", j.id)
+	}
+	if after := jobJSON(t, j2); after != before {
+		t.Errorf("restored job view differs:\n pre-crash: %s\npost-crash: %s", before, after)
+	}
+
+	// The identical spec is an instant cache hit on the restarted server.
+	hit := mustSubmit(t, s2, JobSpec{N: 64, Seed: 7})
+	if st := waitTerminal(t, hit); st != StatePassed {
+		t.Fatalf("cache-hit job state %s, want PASSED", st)
+	}
+	hv := hit.view()
+	if !hv.Cached {
+		t.Error("post-restart identical spec did not hit the recovered cache")
+	}
+	pre, post := j.view().Result, hv.Result
+	b1, _ := json.Marshal(pre)
+	b2, _ := json.Marshal(post)
+	if string(b1) != string(b2) {
+		t.Errorf("cached result not byte-identical:\n pre-crash: %s\npost-crash: %s", b1, b2)
+	}
+	if got := s2.Registry().Counter("server.cache_hits").Value(); got < 1 {
+		t.Errorf("server.cache_hits = %d, want >= 1", got)
+	}
+}
+
+// TestCrashRecoveryRequeuesQueuedAndAbortsRunning: jobs that were QUEUED
+// at the crash run to completion after restart; the job that was RUNNING
+// is ABORTED with a typed InterruptedError carrying the boot generation.
+func TestCrashRecoveryRequeuesQueuedAndAbortsRunning(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	gate := make(chan struct{})
+	cfg := durableConfig(t)
+	cfg.Concurrency = 1
+	cfg.Runner = gatedRunner(gate)
+	s := New(cfg)
+	mustRecover(t, s)
+
+	running := mustSubmit(t, s, JobSpec{N: 64, Seed: 1})
+	waitState(t, running, StateRunning)
+	var queued []*job
+	for seed := uint64(2); seed <= 4; seed++ {
+		queued = append(queued, mustSubmit(t, s, JobSpec{N: 64, Seed: seed}))
+	}
+
+	img := crashImage(t, cfg.JournalPath)
+	close(gate)
+	s.Close()
+
+	cfg2 := testConfig()
+	cfg2.JournalPath = img
+	cfg2.Runner = passRunner
+	s2 := New(cfg2)
+	defer s2.Close()
+	st := mustRecover(t, s2)
+	if st.Interrupted != 1 || st.Requeued != 3 {
+		t.Fatalf("recovery stats = %+v, want 1 interrupted + 3 requeued", st)
+	}
+
+	r2, ok := s2.Job(running.id)
+	if !ok {
+		t.Fatalf("running-at-crash job %s lost", running.id)
+	}
+	if got := waitTerminal(t, r2); got != StateAborted {
+		t.Fatalf("running-at-crash job state %s, want ABORTED", got)
+	}
+	ei := r2.view().Error
+	if ei == nil || ei.Kind != "interrupted" {
+		t.Fatalf("interrupted job error = %+v, want kind interrupted", ei)
+	}
+	if ei.Generation != st.Generation {
+		t.Errorf("InterruptedError generation = %d, want boot generation %d", ei.Generation, st.Generation)
+	}
+
+	for _, q := range queued {
+		q2, ok := s2.Job(q.id)
+		if !ok {
+			t.Fatalf("queued-at-crash job %s lost", q.id)
+		}
+		if got := waitTerminal(t, q2); got != StatePassed {
+			t.Errorf("requeued job %s state %s, want PASSED", q.id, got)
+		}
+	}
+	if got := s2.Registry().Counter("server.recovered_requeued").Value(); got != 3 {
+		t.Errorf("server.recovered_requeued = %d, want 3", got)
+	}
+}
+
+// TestRecoveryOverDepthDoesNot429 covers the Retry-After satellite: a
+// restarted server may legally hold more queued jobs than QueueDepth (it
+// accepted them before the crash). Recovered jobs must all be admitted,
+// and the 429 hint for *new* submissions must stay clamped rather than
+// scale with the overshoot.
+func TestRecoveryOverDepthDoesNot429(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	gate := make(chan struct{})
+	cfg := durableConfig(t)
+	cfg.QueueDepth = 2
+	cfg.Concurrency = 1
+	cfg.Runner = gatedRunner(gate)
+	s := New(cfg)
+	mustRecover(t, s)
+
+	running := mustSubmit(t, s, JobSpec{N: 64, Seed: 1})
+	waitState(t, running, StateRunning)
+	q1 := mustSubmit(t, s, JobSpec{N: 64, Seed: 2})
+	q2 := mustSubmit(t, s, JobSpec{N: 64, Seed: 3})
+
+	img := crashImage(t, cfg.JournalPath)
+	close(gate)
+	s.Close()
+
+	// The restarted server is tighter: QueueDepth 1 < the 2 recovered
+	// queued jobs. Both must still be admitted (no 429 for recovered work).
+	gate2 := make(chan struct{})
+	cfg2 := testConfig()
+	cfg2.QueueDepth = 1
+	cfg2.Concurrency = 1
+	cfg2.JournalPath = img
+	cfg2.Runner = gatedRunner(gate2)
+	s2 := New(cfg2)
+	defer s2.Close()
+	st := mustRecover(t, s2)
+	if st.Requeued != 2 {
+		t.Fatalf("recovery stats = %+v, want 2 requeued", st)
+	}
+	for _, id := range []string{q1.id, q2.id} {
+		if _, ok := s2.Job(id); !ok {
+			t.Fatalf("recovered queued job %s was dropped", id)
+		}
+	}
+
+	// A new submission sees the over-depth queue as 429 with a sane hint.
+	if _, ae := s2.Submit(JobSpec{N: 64, Seed: 9}); ae == nil {
+		t.Fatal("submission into an over-depth queue was admitted")
+	} else if ae.status != 429 || ae.retryAfter < 1 || ae.retryAfter > 30 {
+		t.Fatalf("over-depth rejection = status %d retryAfter %d, want 429 with clamped hint", ae.status, ae.retryAfter)
+	}
+
+	close(gate2)
+	for _, q := range []*job{q1, q2} {
+		j2, _ := s2.Job(q.id)
+		if got := waitTerminal(t, j2); got != StatePassed {
+			t.Errorf("recovered job %s state %s, want PASSED", q.id, got)
+		}
+	}
+}
+
+// TestReadyzDuringRecovery: until replay settles, /readyz answers 503
+// "recovering" and submissions get a typed 503 with a Retry-After; both
+// flip as soon as recovery completes.
+func TestReadyzDuringRecovery(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	hold := make(chan struct{})
+	cfg := durableConfig(t)
+	cfg.Runner = passRunner
+	cfg.recoveryGate = hold
+	s := New(cfg)
+	h := s.Handler()
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rr.Code != http.StatusServiceUnavailable || !strings.Contains(rr.Body.String(), "recovering") {
+		t.Fatalf("/readyz during replay = %d %q, want 503 recovering", rr.Code, rr.Body.String())
+	}
+	if _, ae := s.Submit(JobSpec{N: 64}); ae == nil {
+		t.Fatal("submission during replay was admitted")
+	} else if ae.status != 503 || ae.code != "recovering" || ae.retryAfter < 1 {
+		t.Fatalf("submission during replay = status %d code %q retryAfter %d, want 503 recovering with hint",
+			ae.status, ae.code, ae.retryAfter)
+	}
+
+	close(hold)
+	mustRecover(t, s)
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/readyz after replay = %d, want 200", rr.Code)
+	}
+	j := mustSubmit(t, s, JobSpec{N: 64})
+	if st := waitTerminal(t, j); st != StatePassed {
+		t.Fatalf("post-recovery job state %s, want PASSED", st)
+	}
+	s.Close()
+}
+
+// TestCompactionPreservesRecoverableState: with an aggressive compaction
+// threshold the journal rotates mid-run, and a crash after compaction
+// still restores every terminal job and cache entry.
+func TestCompactionPreservesRecoverableState(t *testing.T) {
+	defer testutil.NoLeaks(t)()
+	cfg := durableConfig(t)
+	cfg.CompactEvery = 5
+	cfg.Runner = passRunner
+	s := New(cfg)
+	mustRecover(t, s)
+
+	var views []string
+	var ids []string
+	for seed := uint64(1); seed <= 6; seed++ {
+		j := mustSubmit(t, s, JobSpec{N: 64, Seed: seed})
+		if st := waitTerminal(t, j); st != StatePassed {
+			t.Fatalf("job seed=%d state %s, want PASSED", seed, st)
+		}
+		views = append(views, jobJSON(t, j))
+		ids = append(ids, j.id)
+	}
+	if got := s.Registry().Counter("journal.compactions").Value(); got < 1 {
+		t.Fatalf("journal.compactions = %d, want >= 1 with CompactEvery=5", got)
+	}
+
+	img := crashImage(t, cfg.JournalPath)
+	s.Close()
+
+	cfg2 := testConfig()
+	cfg2.JournalPath = img
+	cfg2.Runner = passRunner
+	s2 := New(cfg2)
+	defer s2.Close()
+	st := mustRecover(t, s2)
+	if st.RestoredTerminal != len(ids) {
+		t.Fatalf("restored %d terminal jobs, want %d (stats %+v)", st.RestoredTerminal, len(ids), st)
+	}
+	for i, id := range ids {
+		j2, ok := s2.Job(id)
+		if !ok {
+			t.Fatalf("job %s lost across compaction + crash", id)
+		}
+		if got := jobJSON(t, j2); got != views[i] {
+			t.Errorf("job %s view differs after compacted recovery:\n pre: %s\npost: %s", id, views[i], got)
+		}
+	}
+}

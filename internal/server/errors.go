@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"strings"
+	"time"
 
 	"phihpl"
 	"phihpl/internal/cluster"
@@ -44,16 +47,75 @@ type FaultInfo struct {
 	Restarts int `json:"restarts"`
 }
 
+// InterruptedError is the typed reason on a job that was RUNNING when
+// the server process died (SIGKILL, OOM, power loss). Recovery finds it
+// in the journal with a run record but no terminal record and aborts it:
+// a half-run solve has no trustworthy result. Generation is the boot
+// generation that discovered the crash (the journal's boot count), so a
+// caller can tell interruptions from distinct crashes apart. Resubmitting
+// the identical spec is the intended retry — the single-flight cache key
+// makes it free if another tenant already re-ran it.
+type InterruptedError struct {
+	Generation int // boot generation that discovered the crash
+}
+
+func (e *InterruptedError) Error() string {
+	return fmt.Sprintf("job was running when the server crashed (discovered at boot generation %d); "+
+		"resubmit to re-run — an identical completed spec is served from the recovered cache", e.Generation)
+}
+
+// PreemptedError is the typed reason on a job whose solve ignored
+// cooperative cancellation: the deadline expired, the context was
+// cancelled, the grace window passed, and the server force-finalized the
+// job to reclaim its scheduler slot and admission-gate memory. The
+// abandoned solve goroutine cannot be killed in Go — its stack is
+// captured here for diagnosis and its eventual return is discarded.
+type PreemptedError struct {
+	Deadline time.Duration // the per-job deadline that expired
+	Grace    time.Duration // the window the solve had to unwind cooperatively
+	Stack    string        // stacks of the candidate wedged solve goroutines
+}
+
+func (e *PreemptedError) Error() string {
+	return fmt.Sprintf("job exceeded its %s deadline and ignored cancellation for the %s grace window; "+
+		"force-finalized (the wedged solve goroutine was abandoned; its stack is attached)",
+		e.Deadline, e.Grace)
+}
+
+// wedgedStacks captures the stacks of goroutines that look like solve
+// attempts (frames inside the runner dispatch), for embedding in a
+// PreemptedError. Go cannot address a single goroutine's stack, so this
+// filters a full dump; with concurrent jobs it may include innocent
+// bystanders — it is a diagnostic, not an accusation. Falls back to the
+// full dump when no candidate matches.
+func wedgedStacks() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	all := string(buf[:n])
+	var out []string
+	for _, g := range strings.Split(all, "\n\n") {
+		if strings.Contains(g, "protectedRun") || strings.Contains(g, "runAttempts") {
+			out = append(out, g)
+		}
+	}
+	if len(out) == 0 {
+		return all
+	}
+	return strings.Join(out, "\n\n")
+}
+
 // ErrorInfo is the error contract of the job API: every failed or aborted
 // job carries exactly one, with Kind drawn from a closed set so harnesses
 // can switch on it without parsing messages.
 type ErrorInfo struct {
-	Kind      string     `json:"kind"` // residual | aborted | timeout | rank_failed | panic | singular | fault | checksum | internal
-	Message   string     `json:"message"`
-	Transient bool       `json:"transient,omitempty"` // the retry policy would retry this
-	Column    *int       `json:"column,omitempty"`    // singular: first bad global column
-	Panic     *PanicInfo `json:"panic,omitempty"`
-	Fault     *FaultInfo `json:"fault,omitempty"`
+	Kind        string     `json:"kind"` // residual | aborted | interrupted | preempted | timeout | rank_failed | panic | singular | fault | checksum | internal
+	Message     string     `json:"message"`
+	Transient   bool       `json:"transient,omitempty"`    // the retry policy would retry this
+	Column      *int       `json:"column,omitempty"`       // singular: first bad global column
+	Generation  int        `json:"generation,omitempty"`   // interrupted: boot generation that discovered the crash
+	WedgedStack string     `json:"wedged_stack,omitempty"` // preempted: stacks of the abandoned solve goroutines
+	Panic       *PanicInfo `json:"panic,omitempty"`
+	Fault       *FaultInfo `json:"fault,omitempty"`
 }
 
 // transientErr reports whether err is a typed transient failure worth a
@@ -76,7 +138,15 @@ func encodeError(err error) *ErrorInfo {
 	var rpe *cluster.RankPanicError
 	var se *phihpl.SingularError
 	var fe *phihpl.FaultError
+	var ie *InterruptedError
+	var pme *PreemptedError
 	switch {
+	case errors.As(err, &ie):
+		info.Kind = "interrupted"
+		info.Generation = ie.Generation
+	case errors.As(err, &pme):
+		info.Kind = "preempted"
+		info.WedgedStack = pme.Stack
 	case errors.As(err, &pe):
 		info.Kind = "panic"
 		info.Panic = &PanicInfo{Worker: pe.Worker, Value: fmt.Sprint(pe.Value), Stack: pe.Stack}
@@ -105,7 +175,7 @@ func encodeError(err error) *ErrorInfo {
 // apiError is an HTTP-level rejection (the submission never became a job).
 type apiError struct {
 	status     int
-	code       string // queue_full | draining | invalid | unsupported | not_found | bad_body
+	code       string // queue_full | draining | recovering | invalid | unsupported | not_found | bad_body
 	field      string
 	msg        string
 	retryAfter int // seconds; >0 adds a Retry-After header

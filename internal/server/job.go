@@ -368,10 +368,16 @@ func (j *job) publishLocked(e Event) {
 	}
 }
 
-// setRunning transitions QUEUED→RUNNING for the given attempt.
+// setRunning transitions QUEUED→RUNNING for the given attempt. A job
+// that is already terminal stays terminal: a force-finalized (preempted)
+// job's wedged runner may come back and try to start a retry attempt,
+// and that late transition must be a no-op.
 func (j *job) setRunning(attempt int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
 	j.state = StateRunning
 	j.attempts = attempt
 	if attempt == 1 {
@@ -401,6 +407,24 @@ func (j *job) finish(state State, res *ResultView, ei *ErrorInfo, cached bool) {
 	j.cached = cached
 	j.publishLocked(Event{Type: "done", State: state, Attempt: j.attempts})
 	close(j.done)
+}
+
+// restoreAttempts sets the attempt counter from a journal record so a
+// recovered job's view matches its pre-crash one. Only raises.
+func (j *job) restoreAttempts(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n > j.attempts {
+		j.attempts = n
+	}
+}
+
+// snapshot returns the fields the journal's compaction snapshot needs in
+// one consistent read.
+func (j *job) snapshot() (State, *ResultView, *ErrorInfo, bool, int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.result, j.errInfo, j.cached, j.attempts
 }
 
 // subscribe returns the events so far plus a channel of future ones;

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"phihpl"
+	"phihpl/internal/journal"
 	"phihpl/internal/metrics"
 	"phihpl/internal/pool"
 	"phihpl/internal/trace"
@@ -34,6 +35,15 @@ type Config struct {
 
 	MaxJobsRetained int           // terminal job records kept for GET (default 10000)
 	StreamInterval  time.Duration // progress-event period on /stream (default 500ms)
+
+	JournalPath  string        // write-ahead journal file; "" disables durability
+	CompactEvery int           // journal records between compactions (default 4096; <0 disables)
+	PreemptGrace time.Duration // window a cancelled solve gets to unwind before force-finalize (default 3s)
+
+	// recoveryGate, when non-nil, delays journal replay until the channel
+	// is closed. Test hook: it makes the "recovering" window observable
+	// deterministically. Production leaves it nil.
+	recoveryGate chan struct{}
 
 	Metrics *metrics.Registry // served by /metrics (created if nil)
 	Trace   *trace.Recorder   // optional: one span per job attempt
@@ -72,6 +82,8 @@ func (c Config) withDefaults() Config {
 	defD(&c.RetryBase, 50*time.Millisecond)
 	def(&c.MaxJobsRetained, 10000)
 	defD(&c.StreamInterval, 500*time.Millisecond)
+	def(&c.CompactEvery, 4096)
+	defD(&c.PreemptGrace, 3*time.Second)
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
 	}
@@ -122,30 +134,58 @@ type Server struct {
 	closed    bool
 	drainedCh chan struct{}
 
+	// Durability (nil/zero when Config.JournalPath is empty).
+	jn          *journal.Journal
+	generation  int   // boot generation; bumped once per journal replay
+	walAppends  int64 // records since the last compaction
+	recovering  bool  // journal replay in progress: submissions get 503
+	recoveredCh chan struct{}
+	recovery    RecoveryStats
+
 	wg sync.WaitGroup
 
 	// counters/gauges are pre-created: the hot path never touches the
 	// registry map.
 	mSubmitted, mRejectedFull, mRejectedInvalid, mRejectedDraining *metrics.Counter
+	mRejectedRecovering                                            *metrics.Counter
 	mCacheHits, mCacheJoins                                        *metrics.Counter
 	mPassed, mFailed, mAborted, mRetries, mPanics                  *metrics.Counter
+	mRecoveredTerminal, mRecoveredInterrupted, mRecoveredRequeued  *metrics.Counter
+	mPreempted, mPreemptLate, mJournalDropped                      *metrics.Counter
 	gQueued, gRunning, gMem                                        *metrics.Gauge
 	hJobNs, hWaitNs                                                *metrics.Histogram
 }
 
-// New builds the server and starts its scheduler workers.
+// New builds the server and starts its scheduler workers. It panics if
+// the configured journal cannot be opened; use Open where that error
+// should be handled (cmd/hplserver does).
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds the server, opens the write-ahead journal when one is
+// configured, starts the scheduler workers, and kicks off journal replay
+// in the background. Until replay settles, the server reports
+// "recovering": /readyz answers 503 and submissions are rejected with a
+// Retry-After hint. A damaged journal never fails Open — the journal
+// layer repairs what it can and counts what it dropped.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:       cfg,
-		reg:       cfg.Metrics,
-		runner:    cfg.Runner,
-		queues:    map[string][]*job{},
-		credit:    map[string]int{},
-		runTenant: map[string]int{},
-		entries:   map[string]*cacheEntry{},
-		jobs:      map[string]*job{},
-		drainedCh: make(chan struct{}),
+		cfg:         cfg,
+		reg:         cfg.Metrics,
+		runner:      cfg.Runner,
+		queues:      map[string][]*job{},
+		credit:      map[string]int{},
+		runTenant:   map[string]int{},
+		entries:     map[string]*cacheEntry{},
+		jobs:        map[string]*job{},
+		drainedCh:   make(chan struct{}),
+		recoveredCh: make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.runCtx, s.cancelRun = context.WithCancel(context.Background())
@@ -155,6 +195,7 @@ func New(cfg Config) *Server {
 	s.mRejectedFull = r.Counter("server.rejected_queue_full")
 	s.mRejectedInvalid = r.Counter("server.rejected_invalid")
 	s.mRejectedDraining = r.Counter("server.rejected_draining")
+	s.mRejectedRecovering = r.Counter("server.rejected_recovering")
 	s.mCacheHits = r.Counter("server.cache_hits")
 	s.mCacheJoins = r.Counter("server.cache_inflight_joins")
 	s.mPassed = r.Counter("server.jobs_passed")
@@ -162,17 +203,35 @@ func New(cfg Config) *Server {
 	s.mAborted = r.Counter("server.jobs_aborted")
 	s.mRetries = r.Counter("server.retries")
 	s.mPanics = r.Counter("server.contained_panics")
+	s.mRecoveredTerminal = r.Counter("server.recovered_terminal")
+	s.mRecoveredInterrupted = r.Counter("server.recovered_interrupted")
+	s.mRecoveredRequeued = r.Counter("server.recovered_requeued")
+	s.mPreempted = r.Counter("server.preempted")
+	s.mPreemptLate = r.Counter("server.preempt_late_returns")
+	s.mJournalDropped = r.Counter("server.journal_dropped_records")
 	s.gQueued = r.Gauge("server.queued")
 	s.gRunning = r.Gauge("server.running")
 	s.gMem = r.Gauge("server.mem_used_bytes")
 	s.hJobNs = r.Histogram("server.job_ns")
 	s.hWaitNs = r.Histogram("server.queue_wait_ns")
 
+	if cfg.JournalPath != "" {
+		jn, err := journal.Open(cfg.JournalPath, journal.Options{Metrics: cfg.Metrics})
+		if err != nil {
+			return nil, fmt.Errorf("server: open journal: %w", err)
+		}
+		s.jn = jn
+		s.recovering = true
+		go s.recoverFromJournal()
+	} else {
+		close(s.recoveredCh) // nothing to replay; ready immediately
+	}
+
 	for i := 0; i < cfg.Concurrency; i++ {
 		s.wg.Add(1)
 		go s.worker(i)
 	}
-	return s
+	return s, nil
 }
 
 // tenantCounter bumps a per-tenant counter (get-or-create is mutexed in
@@ -205,6 +264,11 @@ func (s *Server) Submit(js JobSpec) (*job, *apiError) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.recovering {
+		s.mRejectedRecovering.Inc()
+		return nil, &apiError{status: 503, code: "recovering",
+			msg: "server is replaying its journal; retry shortly", retryAfter: 1}
+	}
 	if s.draining || s.closed {
 		s.mRejectedDraining.Inc()
 		return nil, &apiError{status: 503, code: "draining", msg: "server is draining; not admitting jobs"}
@@ -218,6 +282,7 @@ func (s *Server) Submit(js JobSpec) (*job, *apiError) {
 			j := newJob(s.seq, sp)
 			j.follower = !e.complete
 			s.registerLocked(j)
+			s.logLocked(walRecord{T: "accept", ID: j.id, Seq: j.seq, Spec: j.spec.wireSpec(), Follower: j.follower})
 			s.mSubmitted.Inc()
 			s.tenantCounter(sp.Tenant, "submitted")
 			if e.complete {
@@ -227,6 +292,7 @@ func (s *Server) Submit(js JobSpec) (*job, *apiError) {
 				s.mCacheJoins.Inc()
 				e.followers = append(e.followers, j)
 			}
+			s.maybeCompactLocked()
 			return j, nil
 		}
 	}
@@ -234,18 +300,15 @@ func (s *Server) Submit(js JobSpec) (*job, *apiError) {
 	if s.queuedN >= s.cfg.QueueDepth {
 		s.mRejectedFull.Inc()
 		s.tenantCounter(sp.Tenant, "rejected")
-		retry := 1 + s.queuedN/max(1, s.cfg.Concurrency)
-		if retry > 30 {
-			retry = 30
-		}
 		return nil, &apiError{status: 429, code: "queue_full",
 			msg:        fmt.Sprintf("queue full (%d jobs); retry later", s.queuedN),
-			retryAfter: retry}
+			retryAfter: s.retryAfterLocked()}
 	}
 
 	s.seq++
 	j := newJob(s.seq, sp)
 	s.registerLocked(j)
+	s.logLocked(walRecord{T: "accept", ID: j.id, Seq: j.seq, Spec: j.spec.wireSpec()})
 	if key != "" {
 		s.entries[key] = &cacheEntry{leader: j}
 	}
@@ -259,8 +322,22 @@ func (s *Server) Submit(js JobSpec) (*job, *apiError) {
 	s.mSubmitted.Inc()
 	s.tenantCounter(sp.Tenant, "submitted")
 	j.enqueuedAt = time.Now()
+	s.maybeCompactLocked()
 	s.cond.Broadcast()
 	return j, nil
+}
+
+// retryAfterLocked estimates a Retry-After hint for a 429: roughly the
+// queue depth over the concurrency, clamped to [1, 30] seconds. The
+// clamp matters after crash recovery, when re-enqueued jobs can legally
+// push queuedN past QueueDepth — the hint must stay sane instead of
+// scaling with the overshoot.
+func (s *Server) retryAfterLocked() int {
+	retry := 1 + s.queuedN/max(1, s.cfg.Concurrency)
+	if retry > 30 {
+		retry = 30
+	}
+	return retry
 }
 
 func containsStr(ss []string, s string) bool {
@@ -330,9 +407,23 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 
 // Ready reports whether the server is admitting jobs.
 func (s *Server) Ready() bool {
+	ok, _ := s.Readiness()
+	return ok
+}
+
+// Readiness reports whether the server admits jobs and, when it does
+// not, why: "recovering" while journal replay is still rebuilding the
+// queue, "draining" once shutdown has begun. /readyz serves this.
+func (s *Server) Readiness() (bool, string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return !s.draining && !s.closed
+	switch {
+	case s.recovering:
+		return false, "recovering"
+	case s.draining || s.closed:
+		return false, "draining"
+	}
+	return true, ""
 }
 
 // worker is one scheduler loop: pick an eligible job under the fairness
@@ -418,6 +509,15 @@ func (s *Server) pickLocked() *job {
 // across all attempts, retry-with-backoff on transient typed errors, and
 // a recover barrier so a panicking solve yields a FAILED job, never a
 // dead worker.
+//
+// The attempts run on their own goroutine so the scheduler slot is not
+// hostage to a wedged solve. The preemption ladder on deadline expiry
+// (or drain cancellation): the context cancellation IS the cooperative
+// request; if the solve has not unwound after PreemptGrace, the job is
+// force-finalized ABORTED with the wedged goroutine's stack attached,
+// and runJob returns so the worker releases the slot and the
+// admission-gate memory. The abandoned goroutine's eventual return is
+// discarded (setRunning/finish are terminal-guarded) and counted.
 func (s *Server) runJob(worker int, j *job) {
 	ctx, cancel := context.WithTimeout(s.runCtx, j.spec.Timeout)
 	defer cancel()
@@ -427,10 +527,62 @@ func (s *Server) runJob(worker int, j *job) {
 		t0 = s.cfg.Trace.Start()
 	}
 
+	type outcome struct {
+		res phihpl.SolveResult
+		err error
+	}
+	resCh := make(chan outcome, 1) // buffered: a late sender never blocks
+	go func() {
+		res, err := s.runAttempts(ctx, j)
+		resCh <- outcome{res, err}
+	}()
+
+	var out outcome
+	forced := false
+	select {
+	case out = <-resCh:
+	case <-ctx.Done():
+		grace := time.NewTimer(s.cfg.PreemptGrace)
+		select {
+		case out = <-resCh:
+			grace.Stop()
+		case <-grace.C:
+			forced = true
+		}
+	}
+
+	elapsed := time.Since(start)
+	s.hJobNs.Observe(elapsed.Nanoseconds())
+	if s.cfg.Trace != nil {
+		s.cfg.Trace.Since(worker, "job."+string(j.spec.Mode)+"."+j.spec.Tenant, j.seq, t0)
+	}
+
+	if forced {
+		s.forceFinalize(j)
+		go func() { // reap the abandoned goroutine's eventual return
+			<-resCh
+			s.mPreemptLate.Inc()
+		}()
+		return
+	}
+
+	state, view, ei := s.classify(j, out.res, out.err, elapsed)
+	s.mu.Lock()
+	s.finishLocked(j, state, view, ei, false)
+	s.maybeCompactLocked()
+	s.mu.Unlock()
+}
+
+// runAttempts is the per-job retry loop (formerly inline in runJob), on
+// its own goroutine so runJob can abandon it when it wedges.
+func (s *Server) runAttempts(ctx context.Context, j *job) (phihpl.SolveResult, error) {
 	var res phihpl.SolveResult
 	var err error
 	for attempt := 1; ; attempt++ {
 		j.setRunning(attempt)
+		s.mu.Lock()
+		s.logLocked(walRecord{T: "run", ID: j.id, Attempt: attempt})
+		s.mu.Unlock()
 		res, err = s.protectedRun(ctx, j)
 		if err == nil || !transientErr(err) || attempt > j.spec.Retries {
 			break
@@ -452,15 +604,25 @@ func (s *Server) runJob(worker int, j *job) {
 		}
 		break
 	}
-	elapsed := time.Since(start)
-	s.hJobNs.Observe(elapsed.Nanoseconds())
-	if s.cfg.Trace != nil {
-		s.cfg.Trace.Since(worker, "job."+string(j.spec.Mode)+"."+j.spec.Tenant, j.seq, t0)
-	}
+	return res, err
+}
 
-	state, view, ei := s.classify(j, res, err, elapsed)
+// forceFinalize is the last rung of the preemption ladder: deadline
+// expired, cancellation requested, grace window passed, and the solve
+// goroutine still has not returned. Go cannot kill a goroutine, so the
+// job is finalized ABORTED here — with the candidate wedged stacks
+// attached for diagnosis — and the goroutine is abandoned; the worker's
+// return then releases the scheduler slot and admission-gate memory.
+func (s *Server) forceFinalize(j *job) {
+	s.mPreempted.Inc()
+	ei := encodeError(&PreemptedError{
+		Deadline: j.spec.Timeout,
+		Grace:    s.cfg.PreemptGrace,
+		Stack:    wedgedStacks(),
+	})
 	s.mu.Lock()
-	s.finishLocked(j, state, view, ei, false)
+	s.finishLocked(j, StateAborted, nil, ei, false)
+	s.maybeCompactLocked()
 	s.mu.Unlock()
 }
 
@@ -506,16 +668,23 @@ func (s *Server) classify(j *job, res phihpl.SolveResult, err error, elapsed tim
 	if ei.Kind == "panic" {
 		s.mPanics.Inc()
 	}
-	if ei.Kind == "aborted" {
+	switch ei.Kind {
+	case "aborted", "preempted", "interrupted":
 		return StateAborted, nil, ei
 	}
 	return StateFailed, nil, ei
 }
 
 // finishLocked makes j terminal, settles its cache entry (followers get
-// the identical outcome; only completed solves are kept for future hits)
-// and bumps the terminal counters. Callers hold s.mu.
+// the identical outcome; only completed solves are kept for future hits),
+// journals the end records, and bumps the terminal counters. Callers
+// hold s.mu. A job that is already terminal is left untouched: a wedged
+// solve that was force-finalized must not overwrite the preemption
+// outcome (or double-journal) when it finally returns.
 func (s *Server) finishLocked(j *job, state State, view *ResultView, ei *ErrorInfo, cached bool) {
+	if j.currentState().Terminal() {
+		return
+	}
 	var followers []*job
 	if j.key != "" {
 		if e := s.entries[j.key]; e != nil && e.leader == j {
@@ -527,15 +696,20 @@ func (s *Server) finishLocked(j *job, state State, view *ResultView, ei *ErrorIn
 			if state == StatePassed || (state == StateFailed && ei != nil && ei.Kind == "residual") {
 				e.complete = true
 				e.state, e.result, e.errInfo = state, view, ei
+				s.logLocked(walRecord{T: "cache", Key: j.key, State: state, Result: view, Error: ei})
 			} else {
 				delete(s.entries, j.key)
 			}
 		}
 	}
 	j.finish(state, view, ei, cached)
+	_, _, _, _, attempts := j.snapshot()
+	s.logLocked(walRecord{T: "end", ID: j.id, State: state, Result: view, Error: ei, Cached: cached, Attempt: attempts})
 	s.countTerminal(j.spec.Tenant, state)
 	for _, f := range followers {
 		f.finish(state, view, ei, true)
+		_, _, _, _, fa := f.snapshot()
+		s.logLocked(walRecord{T: "end", ID: f.id, State: state, Result: view, Error: ei, Cached: true, Attempt: fa})
 		s.countTerminal(f.spec.Tenant, state)
 	}
 }
@@ -579,6 +753,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 
+	// Let journal replay settle first (it is pure in-memory work and sees
+	// s.draining, so recovered queued jobs abort rather than start).
+	<-s.recoveredCh
+
 	quiescent := make(chan struct{})
 	go func() {
 		s.mu.Lock()
@@ -591,13 +769,16 @@ func (s *Server) Drain(ctx context.Context) error {
 	select {
 	case <-quiescent:
 	case <-ctx.Done():
-		// Drain deadline: cancel in-flight jobs. Every runner observes its
-		// context at scheduling boundaries, so this converges quickly; if a
-		// job still wedges, give up rather than hang the exit path.
+		// Drain deadline: cancel in-flight jobs. Cooperative runners observe
+		// their context at scheduling boundaries and converge quickly; a
+		// wedged one is force-finalized after PreemptGrace by the same
+		// preemption ladder the per-job deadline uses, so quiescence is
+		// bounded — the backstop below only guards against bugs in that
+		// ladder itself.
 		s.cancelRun()
 		select {
 		case <-quiescent:
-		case <-time.After(30 * time.Second):
+		case <-time.After(s.cfg.PreemptGrace + 30*time.Second):
 			return errors.New("server: drain incomplete: a job ignored cancellation")
 		}
 	}
@@ -608,6 +789,9 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Unlock()
 	s.wg.Wait()
 	s.cancelRun()
+	if s.jn != nil {
+		_ = s.jn.Close()
+	}
 	close(s.drainedCh)
 	return nil
 }

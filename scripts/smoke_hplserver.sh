@@ -1,9 +1,16 @@
 #!/bin/sh
-# End-to-end smoke for cmd/hplserver: start the server, submit a small
-# FP64 solve, a native mixed-precision solve, and a 2D-distributed
-# mixed solve over HTTP, wait for all to PASS, then SIGTERM and require
-# a clean drain (exit 0). Run from the repo root; CI runs it on every
-# push.
+# End-to-end smoke for cmd/hplserver, in two phases:
+#
+#  1. Serve: submit a small FP64 solve, a native mixed-precision solve,
+#     and a 2D-distributed mixed solve over HTTP, wait for all to PASS,
+#     then SIGTERM and require a clean drain (exit 0).
+#  2. Durability: restart with -journal, complete a small job, SIGKILL
+#     the server while a big job is mid-solve, restart on the same
+#     journal, and require (a) the completed result to survive as an
+#     instant cache hit, (b) the interrupted job to surface as ABORTED
+#     with a typed "interrupted" error, (c) a clean SIGTERM exit 0.
+#
+# Run from the repo root; CI runs it on every push.
 set -eu
 
 ADDR="${HPLSERVER_ADDR:-127.0.0.1:18080}"
@@ -83,4 +90,87 @@ wait "$SRV" || rc=$?
 trap - EXIT
 [ "$rc" -eq 0 ] || fail "server exited $rc after SIGTERM"
 
-echo "smoke: PASS ($J1 fp64, $J2 mixed, $J3 dist2d-mixed, clean drain)"
+echo "smoke: phase 1 PASS ($J1 fp64, $J2 mixed, $J3 dist2d-mixed, clean drain)"
+
+# ----- Phase 2: crash durability ---------------------------------------
+# A journal-backed server is SIGKILLed mid-job; the restart must recover
+# the completed result and abort the interrupted one with a typed error.
+
+JOURNAL="$(mktemp -d)/wal.journal"
+
+wait_ready() {
+    i=0
+    until curl -sf "$BASE/readyz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -le 50 ] || fail "server never became ready"
+        kill -0 "$1" 2>/dev/null || fail "server died during startup"
+        sleep 0.2
+    done
+}
+
+# await_running <id>: poll until the job is RUNNING (and not yet terminal)
+await_running() {
+    i=0
+    while :; do
+        view=$(curl -sf "$BASE/v1/jobs/$1") || fail "poll $1 failed"
+        if printf '%s' "$view" | grep -q '"state": *"RUNNING"'; then
+            return 0
+        fi
+        if printf '%s' "$view" | grep -Eq '"state": *"(FAILED|ABORTED|PASSED)"'; then
+            fail "job $1 went terminal before the crash: $view"
+        fi
+        i=$((i + 1))
+        [ "$i" -le 300 ] || fail "job $1 never started running: $view"
+        sleep 0.1
+    done
+}
+
+"$BIN" -addr "$ADDR" -queue 8 -concurrency 1 -journal "$JOURNAL" >"$LOG" 2>&1 &
+SRV=$!
+trap 'kill -9 "$SRV" 2>/dev/null || true' EXIT
+wait_ready "$SRV"
+
+# A small job completes and enters the durable result cache...
+JC=$(submit '{"mode":"native","n":96,"nb":32,"workers":2,"seed":42}')
+await "$JC"
+# ...then a big job is mid-solve when the server is SIGKILLed.
+JBIG=$(submit '{"mode":"native","n":1536,"nb":64,"workers":2,"seed":9}')
+await_running "$JBIG"
+kill -9 "$SRV"
+wait "$SRV" 2>/dev/null || true
+
+"$BIN" -addr "$ADDR" -queue 8 -concurrency 1 -journal "$JOURNAL" >"$LOG" 2>&1 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+wait_ready "$SRV"
+
+grep -q "journal replay done" "$LOG" \
+    || fail "restart printed no recovery banner"
+
+# (a) The pre-crash completed result survived; an identical submission is
+# an instant cache hit served from the recovered cache.
+curl -sf "$BASE/v1/jobs/$JC" | grep -q '"state": *"PASSED"' \
+    || fail "completed job $JC did not survive the crash"
+hit=$(curl -sf -X POST "$BASE/v1/solve" -H 'X-Tenant: smoke' \
+    -d '{"mode":"native","n":96,"nb":32,"workers":2,"seed":42}') \
+    || fail "post-crash resubmission rejected"
+printf '%s' "$hit" | grep -q '"state": *"PASSED"' \
+    || fail "post-crash resubmission not an instant hit: $hit"
+printf '%s' "$hit" | grep -q '"cached": *true' \
+    || fail "post-crash resubmission not served from the recovered cache: $hit"
+
+# (b) The interrupted job is ABORTED with the typed reason.
+ib=$(curl -sf "$BASE/v1/jobs/$JBIG") || fail "interrupted job $JBIG lost"
+printf '%s' "$ib" | grep -q '"state": *"ABORTED"' \
+    || fail "interrupted job $JBIG not ABORTED: $ib"
+printf '%s' "$ib" | grep -q '"kind": *"interrupted"' \
+    || fail "interrupted job $JBIG missing typed interrupted error: $ib"
+
+# (c) Clean drain again, journal intact.
+kill -TERM "$SRV"
+rc=0
+wait "$SRV" || rc=$?
+trap - EXIT
+[ "$rc" -eq 0 ] || fail "server exited $rc after SIGTERM post-recovery"
+
+echo "smoke: PASS (phase 1 + crash recovery: $JC cached across SIGKILL, $JBIG interrupted, clean drain)"
