@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench benchjson fuzz smoke check clean
+.PHONY: all build test vet race race-scalar bench benchjson fuzz smoke check clean
 
 all: vet test
 
@@ -61,12 +61,21 @@ bench:
 benchjson:
 	$(GO) run ./cmd/benchjson
 
-# fuzz: a short deep-fuzz of the pack → micro-kernel → unpack chain, then
-# of the write-ahead journal's crash-recovery scanner (arbitrary bytes
-# must never panic, and repair accounting must close exactly).
+# fuzz: a short deep-fuzz of the FP64 micro-kernel dispatcher against its
+# scalar oracle (never panic, ulp envelope, no out-of-window writes), the
+# pack → micro-kernel → unpack chain, then the write-ahead journal's
+# crash-recovery scanner (arbitrary bytes must never panic, and repair
+# accounting must close exactly).
 fuzz:
+	$(GO) test ./internal/pack -fuzz FuzzMicroKernel -fuzztime 30s
 	$(GO) test ./internal/blas -fuzz FuzzPackedGemm -fuzztime 30s
 	$(GO) test ./internal/journal -fuzz FuzzJournalDecode -fuzztime 30s
+
+# race-scalar: the race gate with the vector micro-kernels disabled — the
+# portable-scalar oracle path under the race detector, the same leg CI's
+# scalar-oracle job runs.
+race-scalar:
+	PHIHPL_DISABLE_VECTOR_KERNEL=1 $(GO) test -race -timeout 10m ./internal/blas/... ./internal/pack/... ./internal/lu/... ./internal/pool/...
 
 clean:
 	$(GO) clean ./...

@@ -30,7 +30,9 @@ import (
 	"phihpl/internal/blas"
 	"phihpl/internal/lu"
 	"phihpl/internal/matrix"
+	"phihpl/internal/pack"
 	"phihpl/internal/perfmodel"
+	"phihpl/internal/pool"
 )
 
 // caseResult is one benchmark row of the output file.
@@ -152,7 +154,24 @@ func main() {
 		file.Results = append(file.Results,
 			gemmCase("DgemmParallel", n, *workers, blas.DgemmParallel),
 			gemmCase("DgemmPacked", n, *workers, blas.DgemmPacked),
+			// The micro-kernel ladder: the same packed driver with the
+			// scalar kernel forced, and — where the CPU has AVX2+FMA —
+			// with the vector kernel explicitly named, so the scalar→asm
+			// rung is a diffable pair of rows rather than an inference
+			// about what DgemmPacked dispatched to.
+			gemmCaseScalar(n, *workers),
 		)
+		if pack.VectorKernel() {
+			file.Results = append(file.Results,
+				gemmCaseAsm(n, *workers),
+				// The placement rung: per-socket B-panel replication under
+				// a forced two-group pool, against the shared-B DgemmPacked
+				// row above. On single-socket CI this prices the
+				// replication overhead; on dual-socket metal it shows the
+				// interconnect win.
+				gemmCaseRepB(n, *workers),
+			)
+		}
 	}
 
 	if *lun > 0 {
@@ -218,6 +237,33 @@ func gemmCase(name string, n, workers int, f gemmDriver) caseResult {
 	})
 	flops := 2 * float64(n) * float64(n) * float64(n)
 	return toCase(name, n, flops, r)
+}
+
+// gemmCaseScalar benchmarks DgemmPacked with the vector kernel disabled:
+// the portable-scalar floor of the micro-kernel ladder, present on every
+// platform (on noasm/non-amd64 builds it equals the DgemmPacked row).
+func gemmCaseScalar(n, workers int) caseResult {
+	pack.DisableVectorKernel = true
+	defer func() { pack.DisableVectorKernel = false }()
+	return gemmCase("DgemmPacked-scalar", n, workers, blas.DgemmPacked)
+}
+
+// gemmCaseAsm benchmarks DgemmPacked with the AVX2+FMA kernel named
+// explicitly (numerically the same dispatch as the DgemmPacked row; the
+// row exists so the scalar→asm speedup is a first-class pair in the
+// archive). Only emitted when the CPU and build carry the kernel.
+func gemmCaseAsm(n, workers int) caseResult {
+	pack.DisableVectorKernel = false
+	return gemmCase("DgemmPacked-asm", n, workers, blas.DgemmPacked)
+}
+
+// gemmCaseRepB benchmarks DgemmPacked under a forced two-group pool, so
+// the B panel is packed once per group and each worker streams its own
+// replica (byte-identical results; see the replication tests).
+func gemmCaseRepB(n, workers int) caseResult {
+	pool.ForceGroups(2)
+	defer pool.ForceGroups(0)
+	return gemmCase("DgemmPacked-repB", n, workers, blas.DgemmPacked)
 }
 
 // luCase benchmarks the dynamic DAG factorization at order n (NB 64).

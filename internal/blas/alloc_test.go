@@ -1,0 +1,57 @@
+package blas
+
+import (
+	"math/rand"
+	"testing"
+
+	"phihpl/internal/matrix"
+)
+
+// Steady-state allocation regression tests. DgemmPacked's allocation
+// count used to scale with the K-block count (14 allocs/op at one
+// K-block, 28 at two — the n=512 benchmark rows), because every K-block
+// re-allocated the packed-operand headers, two region closures, and
+// per-helper task closures inside the pool. All of that state is now
+// recycled (headers in packBuf, regions and their task closures in the
+// pool's sync.Pool), leaving a small per-CALL constant: the two hoisted
+// region closures, the scaleRows closure, and slice-header escapes.
+//
+// The absolute bound is deliberately loose (a GC run mid-measurement can
+// evict a sync.Pool entry and charge its re-allocation here); the growth
+// bound is the actual regression guard — allocations must not scale with
+// ceil(k/packKC).
+
+func steadyAllocs(t *testing.T, n int) float64 {
+	t.Helper()
+	a := matrix.NewDense(n, n)
+	b := matrix.NewDense(n, n)
+	c := matrix.NewDense(n, n)
+	rng := rand.New(rand.NewSource(7))
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.Float64()
+	}
+	// Warm the buffer pools so only steady-state cost is measured.
+	DgemmPacked(false, false, 1, a, b, 0, c, 4)
+	return testing.AllocsPerRun(5, func() {
+		DgemmPacked(false, false, 1, a, b, 0, c, 4)
+	})
+}
+
+func TestDgemmPackedSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	one := steadyAllocs(t, 256)   // k=256: one K-block
+	two := steadyAllocs(t, 512)   // k=512: two K-blocks
+	four := steadyAllocs(t, 1024) // k=1024: three K-blocks
+	t.Logf("allocs/op: n=256 %.0f, n=512 %.0f, n=1024 %.0f", one, two, four)
+	if two > 12 {
+		t.Errorf("DgemmPacked n=512: %.0f allocs/op in steady state, want <= 12", two)
+	}
+	if four-one > 4 {
+		t.Errorf("DgemmPacked allocations grow with K-block count: %.0f at one block, %.0f at three", one, four)
+	}
+}

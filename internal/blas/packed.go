@@ -41,10 +41,35 @@ const packKC = 384
 // it is not safe to change concurrently with running kernels.
 var PackedMinK = 16
 
-// packBuf is a reusable pair of packing buffers, recycled through a
-// sync.Pool so steady-state DgemmPacked calls allocate nothing but views.
+// DisableBReplication turns off the per-socket B-panel replication of
+// DgemmPacked/SgemmPacked (the packed drivers then keep one shared packed
+// B, the pre-topology behaviour). Replication only activates on machines
+// where pool.Groups() > 1, so on single-socket hosts this flag is moot;
+// it exists for benchmarks (measuring replication cost under
+// pool.ForceGroups) and A/B tests. Like the kernel-mode toggles it is not
+// safe to change concurrently with running kernels. Every replica holds
+// identical bytes, so results are bitwise independent of this flag.
+var DisableBReplication = false
+
+// bGroups returns how many B-panel replicas the packed drivers keep: one
+// per socket group, or one when replication is disabled.
+func bGroups() int {
+	if DisableBReplication {
+		return 1
+	}
+	return pool.Groups()
+}
+
+// packBuf is a reusable set of packing buffers plus the packed-operand
+// headers, recycled through a sync.Pool so steady-state DgemmPacked calls
+// allocate nothing beyond two per-call closures: the headers live here
+// precisely so the per-K-block loop re-points them instead of
+// re-allocating them (the allocs-per-op growth with K-block count that
+// the n=512 benchmark rows exposed).
 type packBuf struct {
 	a, b []float64
+	pa   pack.A
+	pbs  []pack.B // one header per B replica group
 }
 
 var packBufs = sync.Pool{New: func() any { return new(packBuf) }}
@@ -82,50 +107,72 @@ func DgemmPacked(transA, transB bool, alpha float64, a, b *matrix.Dense, beta fl
 
 	aTiles := (m + pack.DefaultTileM - 1) / pack.DefaultTileM
 	bTiles := (n + pack.TileN - 1) / pack.TileN
+	groups := bGroups()
 	pb := packBufs.Get().(*packBuf)
 	defer packBufs.Put(pb)
+	pa := &pb.pa
+	if cap(pb.pbs) < groups {
+		pb.pbs = make([]pack.B, groups)
+	}
+	pbs := pb.pbs[:groups]
 
 	rec := obsTrace.Load()
 	mPackedCalls.Load().Inc()
 	mPackedFlops.Load().Add(2 * int64(m) * int64(n) * int64(k))
 
-	for k0 := 0; k0 < k; k0 += packKC {
-		kb := packKC
+	// The per-K-block loop mutates k0/kb and re-points the packed-operand
+	// headers; the two region closures are created once per call, outside
+	// the loop, so the allocation count no longer scales with ceil(k/kC).
+	var k0, kb int
+	// Pack the A panel and every B replica in parallel: tiles are
+	// independent, so the index spaces are fused into one work list
+	// (aTiles items for A, then bTiles per replica group). Each replica
+	// is packed from the same source by the same deterministic packer, so
+	// all replicas hold identical bytes — the invariant that keeps the
+	// grouped compute phase bitwise independent of the topology.
+	packFn := func(t int) {
+		if t < aTiles {
+			pack.PackATileOp(pa, a, transA, alpha, k0, t)
+		} else {
+			t -= aTiles
+			pack.PackBTileOp(&pbs[t/bTiles], b, transB, k0, t%bTiles)
+		}
+	}
+	// Outer product: the (aTile, bTile) grid updates disjoint TileM×8
+	// blocks of C, claimed by atomic work stealing over the pool. Each
+	// worker streams the B replica of its own socket group.
+	compFn := func(j, g int) {
+		ta, tb := j/bTiles, j%bTiles
+		rows := pa.TileRows(ta)
+		pkb := &pbs[g]
+		cols := pkb.TileCols(tb)
+		off := ta*pack.DefaultTileM*c.Stride + tb*pack.TileN
+		pack.MicroKernel(pa.Tile(ta), pa.TileM, kb, pkb.Tile(tb), c.Data[off:], c.Stride, rows, cols)
+	}
+
+	for k0 = 0; k0 < k; k0 += packKC {
+		kb = packKC
 		if k0+kb > k {
 			kb = k - k0
 		}
-		aData, bData := pb.take(aTiles*pack.DefaultTileM*kb, bTiles*kb*pack.TileN)
-		pa := &pack.A{M: m, K: kb, TileM: pack.DefaultTileM, Data: aData}
-		pkb := &pack.B{K: kb, N: n, Data: bData}
+		nb := bTiles * kb * pack.TileN
+		aData, bData := pb.take(aTiles*pack.DefaultTileM*kb, groups*nb)
+		pa.M, pa.K, pa.TileM, pa.Data = m, kb, pack.DefaultTileM, aData
+		for g := range pbs {
+			pbs[g].K, pbs[g].N, pbs[g].Data = kb, n, bData[g*nb:(g+1)*nb]
+		}
 		mBytesPacked.Load().Add(8 * int64(len(aData)+len(bData)))
 
-		// Pack both panels in parallel: tiles are independent, so the a-
-		// and b-tile index spaces are fused into one work list.
 		var t0 float64
 		if rec != nil {
 			t0 = rec.Start()
 		}
-		pool.Do(aTiles+bTiles, workers, func(t int) {
-			if t < aTiles {
-				pack.PackATileOp(pa, a, transA, alpha, k0, t)
-			} else {
-				pack.PackBTileOp(pkb, b, transB, k0, t-aTiles)
-			}
-		})
+		pool.Do(aTiles+groups*bTiles, workers, packFn)
 		if rec != nil {
 			rec.Since(0, "pack", k0/packKC, t0)
 			t0 = rec.Start()
 		}
-
-		// Outer product: the (aTile, bTile) grid updates disjoint TileM×8
-		// blocks of C, claimed by atomic work stealing over the pool.
-		pool.Do(aTiles*bTiles, workers, func(j int) {
-			ta, tb := j/bTiles, j%bTiles
-			rows := pa.TileRows(ta)
-			cols := pkb.TileCols(tb)
-			off := ta*pack.DefaultTileM*c.Stride + tb*pack.TileN
-			pack.MicroKernel(pa.Tile(ta), pa.TileM, kb, pkb.Tile(tb), c.Data[off:], c.Stride, rows, cols)
-		})
+		pool.DoGrouped(aTiles*bTiles, workers, compFn)
 		if rec != nil {
 			rec.Since(0, "compute", k0/packKC, t0)
 		}
@@ -192,9 +239,12 @@ func PrepackA(a *matrix.Dense, alpha float64) *PrepackedA {
 	return &PrepackedA{pa: pa, m: m, k: k, slab: slab}
 }
 
-// PrepackedB is B packed once into the tile layout (one K-block).
+// PrepackedB is B packed once into the tile layout (one K-block), with
+// one replica per socket group so the grouped compute phase streams a
+// socket-local copy. Replicas are byte-for-byte copies of replica 0, so
+// results are bitwise independent of the replica count.
 type PrepackedB struct {
-	pb   *pack.B
+	pbs  []pack.B
 	k, n int
 	slab *[]float64
 }
@@ -203,7 +253,7 @@ type PrepackedB struct {
 func (b *PrepackedB) Release() {
 	if b != nil && b.slab != nil {
 		prepackSlabs.Put(b.slab)
-		b.slab, b.pb = nil, nil
+		b.slab, b.pbs = nil, nil
 	}
 }
 
@@ -214,14 +264,22 @@ func PrepackB(b *matrix.Dense) *PrepackedB {
 	if k > packKC {
 		return nil
 	}
+	groups := bGroups()
 	bTiles := (n + pack.TileN - 1) / pack.TileN
-	slab := prepackTake(bTiles * k * pack.TileN)
-	pb := &pack.B{K: k, N: n, Data: *slab}
+	rep := bTiles * k * pack.TileN
+	slab := prepackTake(groups * rep)
+	pbs := make([]pack.B, groups)
+	pbs[0] = pack.B{K: k, N: n, Data: (*slab)[:rep]}
 	for t := 0; t < bTiles; t++ {
-		pack.PackBTileOp(pb, b, false, 0, t)
+		pack.PackBTileOp(&pbs[0], b, false, 0, t)
 	}
-	mBytesPacked.Load().Add(8 * int64(len(pb.Data)))
-	return &PrepackedB{pb: pb, k: k, n: n, slab: slab}
+	for g := 1; g < groups; g++ {
+		data := (*slab)[g*rep : (g+1)*rep]
+		copy(data, pbs[0].Data)
+		pbs[g] = pack.B{K: k, N: n, Data: data}
+	}
+	mBytesPacked.Load().Add(8 * int64(len(*slab)))
+	return &PrepackedB{pbs: pbs, k: k, n: n, slab: slab}
 }
 
 // GemmPrepacked computes C += (alpha·A)·B from prepacked operands (the
@@ -238,11 +296,15 @@ func GemmPrepacked(a *PrepackedA, b *PrepackedB, c *matrix.Dense, workers int) {
 	}
 	mPackedCalls.Load().Inc()
 	mPackedFlops.Load().Add(2 * int64(a.m) * int64(b.n) * int64(a.k))
-	aTiles, bTiles := a.pa.Tiles(), b.pb.Tiles()
-	pa, pb := a.pa, b.pb
-	pool.Do(aTiles*bTiles, workers, func(j int) {
+	aTiles, bTiles := a.pa.Tiles(), b.pbs[0].Tiles()
+	pa, pbs := a.pa, b.pbs
+	pool.DoGrouped(aTiles*bTiles, workers, func(j, g int) {
 		ta, tb := j/bTiles, j%bTiles
 		rows := pa.TileRows(ta)
+		if g >= len(pbs) {
+			g = 0 // prepacked under a smaller group count than the caller's
+		}
+		pb := &pbs[g]
 		cols := pb.TileCols(tb)
 		off := ta*pack.DefaultTileM*c.Stride + tb*pack.TileN
 		pack.MicroKernel(pa.Tile(ta), pa.TileM, a.k, pb.Tile(tb), c.Data[off:], c.Stride, rows, cols)

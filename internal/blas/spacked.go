@@ -24,10 +24,13 @@ import (
 // driver splits trailing updates into differently-shaped calls with equal
 // k, and this property keeps the FP32 factorization deterministic.
 
-// packBuf32 is a reusable pair of packing buffers, recycled through a
-// sync.Pool so steady-state SgemmPacked calls allocate nothing but views.
+// packBuf32 is a reusable set of packing buffers plus the packed-operand
+// headers, recycled through a sync.Pool so steady-state SgemmPacked calls
+// allocate nothing beyond two per-call closures (see packBuf).
 type packBuf32 struct {
 	a, b []float32
+	pa   pack.A32
+	pbs  []pack.B32 // one header per B replica group
 }
 
 var packBufs32 = sync.Pool{New: func() any { return new(packBuf32) }}
@@ -65,50 +68,65 @@ func SgemmPacked(transA, transB bool, alpha float32, a, b *matrix.Dense32, beta 
 
 	aTiles := (m + pack.DefaultTileM32 - 1) / pack.DefaultTileM32
 	bTiles := (n + pack.TileN32 - 1) / pack.TileN32
+	groups := bGroups()
 	pb := packBufs32.Get().(*packBuf32)
 	defer packBufs32.Put(pb)
+	pa := &pb.pa
+	if cap(pb.pbs) < groups {
+		pb.pbs = make([]pack.B32, groups)
+	}
+	pbs := pb.pbs[:groups]
 
 	rec := obsTrace.Load()
 	mSPackedCalls.Load().Inc()
 	mSPackedFlops.Load().Add(2 * int64(m) * int64(n) * int64(k))
 
-	for k0 := 0; k0 < k; k0 += packKC {
-		kb := packKC
+	// As in DgemmPacked: headers live in the recycled buffer, the two
+	// region closures are hoisted out of the K-block loop, and each
+	// socket group packs (and later streams) its own B replica.
+	var k0, kb int
+	packFn := func(t int) {
+		if t < aTiles {
+			pack.PackATileOp32(pa, a, transA, alpha, k0, t)
+		} else {
+			t -= aTiles
+			pack.PackBTileOp32(&pbs[t/bTiles], b, transB, k0, t%bTiles)
+		}
+	}
+	// Outer product: the (aTile, bTile) grid updates disjoint 32×16
+	// blocks of C, claimed by atomic work stealing over the pool.
+	compFn := func(j, g int) {
+		ta, tb := j/bTiles, j%bTiles
+		rows := pa.TileRows(ta)
+		pkb := &pbs[g]
+		cols := pkb.TileCols(tb)
+		off := ta*pack.DefaultTileM32*c.Stride + tb*pack.TileN32
+		pack.MicroKernel32(pa.Tile(ta), pa.TileM, kb, pkb.Tile(tb), c.Data[off:], c.Stride, rows, cols)
+	}
+
+	for k0 = 0; k0 < k; k0 += packKC {
+		kb = packKC
 		if k0+kb > k {
 			kb = k - k0
 		}
-		aData, bData := pb.take(aTiles*pack.DefaultTileM32*kb, bTiles*kb*pack.TileN32)
-		pa := &pack.A32{M: m, K: kb, TileM: pack.DefaultTileM32, Data: aData}
-		pkb := &pack.B32{K: kb, N: n, Data: bData}
+		nb := bTiles * kb * pack.TileN32
+		aData, bData := pb.take(aTiles*pack.DefaultTileM32*kb, groups*nb)
+		pa.M, pa.K, pa.TileM, pa.Data = m, kb, pack.DefaultTileM32, aData
+		for g := range pbs {
+			pbs[g].K, pbs[g].N, pbs[g].Data = kb, n, bData[g*nb:(g+1)*nb]
+		}
 		mSBytesPacked.Load().Add(4 * int64(len(aData)+len(bData)))
 
-		// Pack both panels in parallel: tiles are independent, so the a-
-		// and b-tile index spaces are fused into one work list.
 		var t0 float64
 		if rec != nil {
 			t0 = rec.Start()
 		}
-		pool.Do(aTiles+bTiles, workers, func(t int) {
-			if t < aTiles {
-				pack.PackATileOp32(pa, a, transA, alpha, k0, t)
-			} else {
-				pack.PackBTileOp32(pkb, b, transB, k0, t-aTiles)
-			}
-		})
+		pool.Do(aTiles+groups*bTiles, workers, packFn)
 		if rec != nil {
 			rec.Since(0, "spack", k0/packKC, t0)
 			t0 = rec.Start()
 		}
-
-		// Outer product: the (aTile, bTile) grid updates disjoint 32×16
-		// blocks of C, claimed by atomic work stealing over the pool.
-		pool.Do(aTiles*bTiles, workers, func(j int) {
-			ta, tb := j/bTiles, j%bTiles
-			rows := pa.TileRows(ta)
-			cols := pkb.TileCols(tb)
-			off := ta*pack.DefaultTileM32*c.Stride + tb*pack.TileN32
-			pack.MicroKernel32(pa.Tile(ta), pa.TileM, kb, pkb.Tile(tb), c.Data[off:], c.Stride, rows, cols)
-		})
+		pool.DoGrouped(aTiles*bTiles, workers, compFn)
 		if rec != nil {
 			rec.Since(0, "scompute", k0/packKC, t0)
 		}

@@ -67,9 +67,10 @@ func SPrepackA(a *matrix.Dense32, alpha float32) *SPrepackedA {
 	return &SPrepackedA{pa: pa, m: m, k: k, slab: slab}
 }
 
-// SPrepackedB is B packed once into the FP32 tile layout (one K-block).
+// SPrepackedB is B packed once into the FP32 tile layout (one K-block),
+// with one byte-identical replica per socket group; see PrepackedB.
 type SPrepackedB struct {
-	pb   *pack.B32
+	pbs  []pack.B32
 	k, n int
 	slab *[]float32
 }
@@ -78,7 +79,7 @@ type SPrepackedB struct {
 func (b *SPrepackedB) Release() {
 	if b != nil && b.slab != nil {
 		sprepackSlabs.Put(b.slab)
-		b.slab, b.pb = nil, nil
+		b.slab, b.pbs = nil, nil
 	}
 }
 
@@ -89,14 +90,22 @@ func SPrepackB(b *matrix.Dense32) *SPrepackedB {
 	if k > packKC {
 		return nil
 	}
+	groups := bGroups()
 	bTiles := (n + pack.TileN32 - 1) / pack.TileN32
-	slab := sprepackTake(bTiles * k * pack.TileN32)
-	pb := &pack.B32{K: k, N: n, Data: *slab}
+	rep := bTiles * k * pack.TileN32
+	slab := sprepackTake(groups * rep)
+	pbs := make([]pack.B32, groups)
+	pbs[0] = pack.B32{K: k, N: n, Data: (*slab)[:rep]}
 	for t := 0; t < bTiles; t++ {
-		pack.PackBTileOp32(pb, b, false, 0, t)
+		pack.PackBTileOp32(&pbs[0], b, false, 0, t)
 	}
-	mSBytesPacked.Load().Add(4 * int64(len(pb.Data)))
-	return &SPrepackedB{pb: pb, k: k, n: n, slab: slab}
+	for g := 1; g < groups; g++ {
+		data := (*slab)[g*rep : (g+1)*rep]
+		copy(data, pbs[0].Data)
+		pbs[g] = pack.B32{K: k, N: n, Data: data}
+	}
+	mSBytesPacked.Load().Add(4 * int64(len(*slab)))
+	return &SPrepackedB{pbs: pbs, k: k, n: n, slab: slab}
 }
 
 // SGemmPrepacked computes C += (alpha·A)·B from prepacked FP32 operands
@@ -113,11 +122,15 @@ func SGemmPrepacked(a *SPrepackedA, b *SPrepackedB, c *matrix.Dense32, workers i
 	}
 	mSPackedCalls.Load().Inc()
 	mSPackedFlops.Load().Add(2 * int64(a.m) * int64(b.n) * int64(a.k))
-	aTiles, bTiles := a.pa.Tiles(), b.pb.Tiles()
-	pa, pb := a.pa, b.pb
-	pool.Do(aTiles*bTiles, workers, func(j int) {
+	aTiles, bTiles := a.pa.Tiles(), b.pbs[0].Tiles()
+	pa, pbs := a.pa, b.pbs
+	pool.DoGrouped(aTiles*bTiles, workers, func(j, g int) {
 		ta, tb := j/bTiles, j%bTiles
 		rows := pa.TileRows(ta)
+		if g >= len(pbs) {
+			g = 0 // prepacked under a smaller group count than the caller's
+		}
+		pb := &pbs[g]
 		cols := pb.TileCols(tb)
 		off := ta*pack.DefaultTileM32*c.Stride + tb*pack.TileN32
 		pack.MicroKernel32(pa.Tile(ta), pa.TileM, a.k, pb.Tile(tb), c.Data[off:], c.Stride, rows, cols)

@@ -11,14 +11,20 @@ import (
 	"phihpl/internal/trace"
 )
 
-// forceScalarKernel32 pins the FP32 micro-kernel to the portable scalar
-// path for the duration of a test, so golden values hold on every
-// platform regardless of which vector kernel the CPU offers.
-func forceScalarKernel32(t *testing.T) {
+// forceScalarKernels pins both micro-kernels (FP32 and FP64) to the
+// portable scalar path for the duration of a test, so golden values hold
+// on every platform regardless of which vector kernels the CPU offers —
+// the FP64 fallback golden in particular re-runs the full FP64 packed
+// path, whose bits depend on the FP64 kernel.
+func forceScalarKernels(t *testing.T) {
 	t.Helper()
-	prev := pack.DisableVectorKernel32
+	prev32, prev64 := pack.DisableVectorKernel32, pack.DisableVectorKernel
 	pack.DisableVectorKernel32 = true
-	t.Cleanup(func() { pack.DisableVectorKernel32 = prev })
+	pack.DisableVectorKernel = true
+	t.Cleanup(func() {
+		pack.DisableVectorKernel32 = prev32
+		pack.DisableVectorKernel = prev64
+	})
 }
 
 // nearDepSystem builds a system whose last row is a linear combination of
@@ -53,7 +59,7 @@ func nearDepSystem(n int, tau float64, seed uint64) (*matrix.Dense, []float64) {
 // dependency below FP32 resolution — which must stall refinement and
 // fall back to FP64 with a typed report.
 func TestSolveMixedGoldenResiduals(t *testing.T) {
-	forceScalarKernel32(t)
+	forceScalarKernels(t)
 	const n, seed = 160, 42
 	golden := []struct {
 		decades  float64

@@ -1,3 +1,5 @@
+//go:build amd64 && !noasm
+
 package pack
 
 // The vector FP32 micro-kernel. The paper's single-precision path exists
@@ -5,8 +7,9 @@ package pack
 // over DGEMM (Table II); a scalar Go loop cannot reproduce that ratio —
 // scalar SP and DP multiply-add issue at the same rate — so the SGEMM
 // register blocking is implemented as an AVX2+FMA assembly block on
-// amd64, gated behind a CPUID probe, with the portable scalar kernel as
-// the always-available fallback and test oracle.
+// amd64, gated behind the shared CPUID probe (haveAsmKernel, see
+// kernel_amd64.go), with the portable scalar kernel as the
+// always-available fallback and test oracle.
 
 // sgemm4x16 computes one 4×16 accumulator block of an a-tile × b-tile
 // product: dst[i*16+j] = Σ_p a[p·stride/4 + i]·b[p·16 + j], each element
@@ -14,31 +17,6 @@ package pack
 //
 //go:noescape
 func sgemm4x16(a *float32, strideBytes int64, k int64, b *float32, dst *[64]float32)
-
-func cpuidLeaf(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
-func xgetbv0() (eax, edx uint32)
-
-// haveAsmKernel32 reports whether the CPU and OS support the AVX2+FMA
-// kernel: FMA3 + AVX + AVX2 in CPUID and XMM/YMM state enabled in XCR0.
-func haveAsmKernel32() bool {
-	maxID, _, _, _ := cpuidLeaf(0, 0)
-	if maxID < 7 {
-		return false
-	}
-	_, _, c1, _ := cpuidLeaf(1, 0)
-	const fma = 1 << 12
-	const osxsave = 1 << 27
-	const avx = 1 << 28
-	if c1&fma == 0 || c1&osxsave == 0 || c1&avx == 0 {
-		return false
-	}
-	if xlo, _ := xgetbv0(); xlo&0x6 != 0x6 {
-		return false
-	}
-	_, b7, _, _ := cpuidLeaf(7, 0)
-	const avx2 = 1 << 5
-	return b7&avx2 != 0
-}
 
 // kernel32Block runs the assembly 4×16 block: the block starting at row
 // r0 of the (column-major, tileM-stride) a-tile against the full k×16

@@ -1,5 +1,7 @@
-// Single-precision 4×16 FMA micro-kernel block and the CPUID probes that
-// gate it. See kernel32_amd64.go for the calling contract.
+// Single-precision 4×16 FMA micro-kernel block. See kernel32_amd64.go
+// for the calling contract; the CPUID probes live in kernel_amd64.s.
+
+//go:build amd64 && !noasm
 
 #include "textflag.h"
 
@@ -60,23 +62,4 @@ store:
 	VMOVUPS Y6, 192(DI)
 	VMOVUPS Y7, 224(DI)
 	VZEROUPPER
-	RET
-
-// func cpuidLeaf(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
-TEXT ·cpuidLeaf(SB), NOSPLIT, $0-24
-	MOVL leaf+0(FP), AX
-	MOVL sub+4(FP), CX
-	CPUID
-	MOVL AX, eax+8(FP)
-	MOVL BX, ebx+12(FP)
-	MOVL CX, ecx+16(FP)
-	MOVL DX, edx+20(FP)
-	RET
-
-// func xgetbv0() (eax, edx uint32)
-TEXT ·xgetbv0(SB), NOSPLIT, $0-8
-	XORL CX, CX
-	XGETBV
-	MOVL AX, eax+0(FP)
-	MOVL DX, edx+4(FP)
 	RET

@@ -18,6 +18,7 @@
 package pack
 
 import (
+	"os"
 	"sync"
 
 	"phihpl/internal/matrix"
@@ -33,6 +34,41 @@ const KernelOneTileM = 31
 
 // TileN is the b-tile width: 8 doubles, one 512-bit vector register.
 const TileN = 8
+
+// MicroM is the row height of the FP64 vector register block: a 6×8
+// accumulator block is 12 YMM registers (two 4-lane halves per row),
+// leaving two for the b row and two for broadcasts of a. DefaultTileM is
+// a multiple of MicroM (30 = 5·6), so the vector kernel walks a
+// full-height a-tile without ever straddling the tile boundary; padding
+// rows of a partial bottom tile are zero and are simply not written back.
+const MicroM = 6
+
+// DisableVectorKernel forces the portable scalar FP64 micro-kernel even
+// when the AVX2+FMA block kernel is available. The scalar kernel is the
+// arithmetic reference (unfused multiply-add in the same ascending-p
+// order); tests set this to pin the cross-kernel oracle, and the
+// benchmark harness toggles it for the scalar-vs-vector head-to-head. It
+// is not safe to change concurrently with running kernels.
+var DisableVectorKernel = false
+
+// vectorKernel records the one-time CPUID probe for the AVX2+FMA kernel.
+var vectorKernel = haveAsmKernel()
+
+// VectorKernel reports whether the fused vector FP64 kernel is available
+// on this CPU (and OS). When false, MicroKernel always runs the scalar
+// fallback.
+func VectorKernel() bool { return vectorKernel }
+
+// The scalar oracle path must stay exercisable without recompiling:
+// setting PHIHPL_DISABLE_VECTOR_KERNEL (to any non-empty value) disables
+// both vector kernels at startup, which is how the CI scalar-oracle leg
+// runs the full blas/pack/lu race suites on the pure-Go arithmetic.
+func init() {
+	if os.Getenv("PHIHPL_DISABLE_VECTOR_KERNEL") != "" {
+		DisableVectorKernel = true
+		DisableVectorKernel32 = true
+	}
+}
 
 // A is matrix Ai packed into TileM×K column-major tiles. Partial bottom
 // tiles are zero-padded to full height so that tile addressing is uniform.
@@ -174,13 +210,62 @@ func (p *B) Unpack(dst *matrix.Dense) {
 // worker count, which is what lets every LU driver in this repository
 // stay bitwise reproducible on top of this kernel.
 //
-// The loop nest is row-at-a-time: one row of the a-tile against the whole
-// b-tile, with the row's eight partial sums held in scalar locals so the
-// compiler keeps them in registers (a 30×8 accumulator array would spill
-// to the stack and pay a load+store per multiply-add). Per element the
-// arithmetic is unchanged — ascending-p summation, then a single add into
-// c — so reordering the i/p loops does not move a single bit.
+// Two implementations sit behind this entry point:
+//
+//   - The vector kernel (amd64 with AVX2+FMA, see kernel_amd64.go): 6×8
+//     register blocks, each element accumulated in ascending p with fused
+//     multiply-add — the register blocking of the paper's Basic Kernel 2,
+//     which needs real vector FMA to approach machine peak.
+//   - The portable scalar kernel: row-at-a-time with 8 scalar
+//     accumulators, unfused multiply-add in the same ascending-p order.
+//     This path is bit-for-bit the arithmetic of the K-block-grouped
+//     reference loop and serves as its oracle.
+//
+// Both paths perform every product unconditionally, accumulate each
+// element in ascending p, and add the block sum into c exactly once — so
+// for a fixed k the accumulation order of each element is independent of
+// the tile's position, the matrix partitioning and the worker count,
+// which is what lets every LU driver in this repository stay bitwise
+// reproducible on top of this kernel. The two paths differ only in
+// product rounding (fused vs. separate), so results are deterministic on
+// a given machine and element-wise within O(k)·ulp of each other across
+// machines. The dispatch inspects only machine-global state (the CPUID
+// probe, DisableVectorKernel) and the tile geometry — never the operand
+// shape — so one process never mixes kernels across the differently-
+// partitioned calls of a single mathematical update.
 func MicroKernel(aTile []float64, tileM, k int, bTile []float64, c []float64, ldc, rows, cols int) {
+	if k <= 0 || rows <= 0 || cols <= 0 {
+		return
+	}
+	if vectorKernel && !DisableVectorKernel && tileM%MicroM == 0 {
+		var acc [MicroM * TileN]float64
+		for r0 := 0; r0 < rows; r0 += MicroM {
+			kernelBlock(aTile, tileM, k, r0, bTile, &acc)
+			br := rows - r0
+			if br > MicroM {
+				br = MicroM
+			}
+			for i := 0; i < br; i++ {
+				row := c[(r0+i)*ldc : (r0+i)*ldc+cols]
+				sums := acc[i*TileN : i*TileN+TileN]
+				for j := range row {
+					row[j] += sums[j]
+				}
+			}
+		}
+		return
+	}
+	microKernelScalar(aTile, tileM, k, bTile, c, ldc, rows, cols)
+}
+
+// microKernelScalar is the portable row-at-a-time kernel: one row of the
+// a-tile against the whole b-tile, with the row's eight partial sums held
+// in scalar locals so the compiler keeps them in registers (a 30×8
+// accumulator array would spill to the stack and pay a load+store per
+// multiply-add). Per element the arithmetic is unchanged — ascending-p
+// summation, then a single add into c — so reordering the i/p loops does
+// not move a single bit.
+func microKernelScalar(aTile []float64, tileM, k int, bTile []float64, c []float64, ldc, rows, cols int) {
 	bt := bTile[:k*TileN]
 	for i := 0; i < rows; i++ {
 		// s0..s7 mirror one row of the v0..v29 accumulator registers.

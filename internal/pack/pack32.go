@@ -26,11 +26,14 @@ const DefaultTileM32 = 32
 // when the AVX2+FMA block kernel is available. The scalar kernel is the
 // bitwise reference for blas.Sgemm (unfused multiply-add, same per-element
 // grouping); tests set this to pin the cross-kernel oracle. It is not safe
-// to change concurrently with running kernels.
+// to change concurrently with running kernels. The
+// PHIHPL_DISABLE_VECTOR_KERNEL environment variable sets it at startup
+// (see pack.go).
 var DisableVectorKernel32 = false
 
-// vectorKernel32 records the one-time CPUID probe for the AVX2+FMA kernel.
-var vectorKernel32 = haveAsmKernel32()
+// vectorKernel32 records the one-time CPUID probe for the AVX2+FMA
+// kernels, shared with the FP64 gate (both need FMA3+AVX2).
+var vectorKernel32 = haveAsmKernel()
 
 // VectorKernel32 reports whether the fused vector FP32 kernel is available
 // on this CPU (and OS). When false, MicroKernel32 always runs the scalar

@@ -1,0 +1,34 @@
+//go:build linux
+
+package pool
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// pinToCPUs binds the calling OS thread to the given logical CPUs via
+// sched_setaffinity(2). Best-effort: an error (container cpuset
+// restrictions, seccomp) leaves the thread where the kernel put it — the
+// socket grouping still partitions the B-panel replicas correctly, the
+// placement is just no longer enforced. The caller must hold
+// runtime.LockOSThread so the binding stays with the goroutine.
+func pinToCPUs(cpus []int) error {
+	var mask [16]uint64 // 1024 CPUs, the kernel's historical cpu_set_t width
+	any := false
+	for _, c := range cpus {
+		if c >= 0 && c < len(mask)*64 {
+			mask[c/64] |= 1 << (uint(c) % 64)
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

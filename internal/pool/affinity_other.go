@@ -1,0 +1,8 @@
+//go:build !linux
+
+package pool
+
+// pinToCPUs is a no-op where sched_setaffinity is unavailable; socket
+// grouping still partitions B-panel replicas, it is just not enforced by
+// the scheduler.
+func pinToCPUs(cpus []int) error { return nil }

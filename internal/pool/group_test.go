@@ -1,0 +1,135 @@
+package pool
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBuildGroups(t *testing.T) {
+	dual := &Topology{Sockets: []Socket{
+		{ID: 0, CPUs: []int{0, 1}},
+		{ID: 1, CPUs: []int{2, 3}},
+	}}
+	cases := []struct {
+		workers int
+		want    []int // per-lane groups, caller lane last
+	}{
+		{4, []int{0, 0, 1, 1, 0}},             // one lane per CPU
+		{2, []int{0, 1, 0}},                   // undersubscribed: one lane per socket
+		{8, []int{0, 0, 0, 0, 1, 1, 1, 1, 0}}, // oversubscribed: split evenly
+		{3, []int{0, 0, 1, 0}},                // uneven split leans on socket sizes
+	}
+	for _, tc := range cases {
+		got, g := buildGroups(dual, tc.workers)
+		if g != 2 {
+			t.Errorf("workers=%d: groups=%d, want 2", tc.workers, g)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+			t.Errorf("workers=%d: lanes=%v, want %v", tc.workers, got, tc.want)
+		}
+	}
+
+	flat := flatTopology(4, "test")
+	got, g := buildGroups(flat, 4)
+	if g != 1 {
+		t.Fatalf("flat groups=%d, want 1", g)
+	}
+	for lane, grp := range got {
+		if grp != 0 {
+			t.Fatalf("flat lane %d in group %d", lane, grp)
+		}
+	}
+}
+
+func TestForceGroups(t *testing.T) {
+	t.Cleanup(func() { ForceGroups(0) })
+	ForceGroups(3)
+	if Groups() != 3 {
+		t.Fatalf("Groups()=%d after ForceGroups(3)", Groups())
+	}
+	// Every worker lane lands in a valid group; the caller lane is 0.
+	for w := 0; w < Size(); w++ {
+		if g := groupOf(w); g < 0 || g >= 3 {
+			t.Fatalf("worker %d in group %d", w, g)
+		}
+	}
+	if groupOf(Size()) != 0 {
+		t.Fatal("caller lane not in group 0")
+	}
+	if groupOf(-1) != 0 {
+		t.Fatal("serial marker not in group 0")
+	}
+	ForceGroups(0)
+	if Groups() != DetectTopology().NumSockets() {
+		t.Fatalf("Groups()=%d after reset, want detected %d", Groups(), DetectTopology().NumSockets())
+	}
+}
+
+func TestDoGroupedCoversIndexSpace(t *testing.T) {
+	t.Cleanup(func() { ForceGroups(0) })
+	ForceGroups(2)
+	const n = 1000
+	var hits [n]atomic.Int32
+	var outOfRange atomic.Int32
+	DoGrouped(n, 8, func(i, group int) {
+		hits[i].Add(1)
+		if group < 0 || group >= 2 {
+			outOfRange.Add(1)
+		}
+	})
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d executed %d times", i, got)
+		}
+	}
+	if outOfRange.Load() != 0 {
+		t.Fatal("job observed a group outside [0, Groups())")
+	}
+}
+
+func TestDoGroupedSerialIsGroupZero(t *testing.T) {
+	t.Cleanup(func() { ForceGroups(0) })
+	ForceGroups(4)
+	DoGrouped(16, 1, func(i, group int) {
+		if group != 0 {
+			t.Fatalf("serial job at index %d saw group %d", i, group)
+		}
+	})
+}
+
+func TestDoGroupedPanicContained(t *testing.T) {
+	defer func() {
+		pe, ok := recover().(*PanicError)
+		if !ok {
+			t.Fatalf("expected *PanicError, got %v", pe)
+		}
+		if pe.Value != "boom" {
+			t.Fatalf("panic value = %v", pe.Value)
+		}
+	}()
+	DoGrouped(64, 4, func(i, group int) {
+		if i == 11 {
+			panic("boom")
+		}
+	})
+	t.Fatal("panic did not propagate")
+}
+
+// TestDoSteadyStateAllocs pins the pool's own per-region allocation cost:
+// regions and their helper-task closures are recycled through a
+// sync.Pool, so a steady-state Do costs zero heap allocations beyond
+// whatever the caller's fn closure captures. This is the pool half of the
+// DgemmPacked allocs-per-op regression (the count used to grow with the
+// number of regions per call).
+func TestDoSteadyStateAllocs(t *testing.T) {
+	var sink atomic.Int64
+	fn := func(i int) { sink.Add(int64(i)) }
+	Do(64, 4, fn) // warm the region pool
+	allocs := testing.AllocsPerRun(20, func() {
+		Do(64, 4, fn)
+	})
+	if allocs > 1 {
+		t.Errorf("steady-state Do allocates %.0f objects per region, want <= 1", allocs)
+	}
+}

@@ -13,6 +13,18 @@
 // regions from independent callers interleave safely: pool workers never
 // block on the pool themselves.
 //
+// Topology: at startup the pool probes the machine's socket layout
+// (DetectTopology) and partitions its workers into socket groups — the
+// software analogue of the paper's dual-socket interleaving (Fig. 10/11).
+// On multi-socket Linux machines each worker's OS thread is additionally
+// pinned to its socket's CPUs (best-effort, sched_setaffinity), so a
+// group's workers really do share a last-level cache. DoGrouped hands
+// each job its executing worker's group id, which the packed BLAS
+// drivers use to stream a socket-local replica of the B panel instead of
+// pulling one shared copy across the interconnect. Single-socket
+// machines (and platforms without sysfs) collapse to one group and the
+// flat behaviour of old.
+//
 // Robustness: every job runs behind a recover barrier. A panic inside fn
 // never crashes a pool worker goroutine (which would kill the process);
 // it is converted into a typed *PanicError — returned by DoCtx, re-raised
@@ -30,6 +42,7 @@ package pool
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -43,6 +56,15 @@ var (
 	once   sync.Once
 	submit chan func(worker int)
 	nproc  int
+
+	// workerGroup maps a worker lane to its socket group; index nproc is
+	// the caller lane (group 0: the region caller is not pinned, so it is
+	// charged to the first socket). Written by ensure and ForceGroups
+	// only; ForceGroups is a test/benchmark hook and, like the other
+	// kernel-mode toggles, is not safe to call concurrently with running
+	// regions.
+	workerGroup []int
+	groupCount  int
 
 	obsTrace   atomic.Pointer[trace.Recorder]
 	mRegions   atomic.Pointer[metrics.Counter]
@@ -86,25 +108,110 @@ func SetObservability(rec *trace.Recorder, reg *metrics.Registry) {
 	mPanicsCnt.Store(reg.Counter("pool.contained_panics"))
 }
 
-// ensure starts the long-lived workers exactly once.
+// ensure starts the long-lived workers exactly once, partitioned (and on
+// multi-socket Linux, pinned) according to the detected topology.
 func ensure() {
 	once.Do(func() {
 		nproc = runtime.GOMAXPROCS(0)
+		topo := DetectTopology()
+		workerGroup, groupCount = buildGroups(topo, nproc)
+		pin := groupCount > 1 && os.Getenv("PHIHPL_DISABLE_PIN") == ""
 		submit = make(chan func(worker int), 4*nproc)
 		for i := 0; i < nproc; i++ {
-			go func(id int) {
+			var cpus []int
+			if pin {
+				cpus = topo.Sockets[workerGroup[i]].CPUs
+			}
+			go func(id int, cpus []int) {
+				if cpus != nil {
+					// The binding must stay with this goroutine for the
+					// worker's lifetime, so the thread is locked first.
+					runtime.LockOSThread()
+					_ = pinToCPUs(cpus) // best-effort; see pinToCPUs
+				}
 				for f := range submit {
 					f(id)
 				}
-			}(i)
+			}(i, cpus)
 		}
 	})
+}
+
+// buildGroups assigns each of the n worker lanes (plus the caller lane at
+// index n) to a socket group: worker w serves the socket that owns CPU
+// ⌊w·ncpu/n⌋, which splits the lanes proportionally to socket sizes and,
+// in the common n == ncpu case, maps worker w to the socket of CPU w.
+// The caller lane is group 0 (the caller is never pinned).
+func buildGroups(topo *Topology, n int) ([]int, int) {
+	ncpu := 0
+	for _, s := range topo.Sockets {
+		ncpu += len(s.CPUs)
+	}
+	cpuSocket := make([]int, 0, ncpu)
+	for si, s := range topo.Sockets {
+		for range s.CPUs {
+			cpuSocket = append(cpuSocket, si)
+		}
+	}
+	wg := make([]int, n+1)
+	for w := 0; w < n; w++ {
+		if ncpu > 0 {
+			wg[w] = cpuSocket[w*ncpu/n%ncpu]
+		}
+	}
+	wg[n] = 0
+	return wg, len(topo.Sockets)
 }
 
 // Size returns the number of persistent workers (GOMAXPROCS at first use).
 func Size() int {
 	ensure()
 	return nproc
+}
+
+// Groups returns the number of socket groups the pool's workers are
+// partitioned into: the detected socket count, or the ForceGroups
+// override. Callers that replicate per-group state (the packed drivers'
+// B panels) size it by this value and select a replica with the group id
+// DoGrouped passes to each job. 1 on single-socket machines and wherever
+// topology discovery fell back — per-group state then collapses to one
+// shared copy.
+func Groups() int {
+	ensure()
+	return groupCount
+}
+
+// ForceGroups overrides the socket-group count: g >= 1 partitions the
+// worker lanes arithmetically into g groups (lane w → w·g/nproc), g <= 0
+// restores the detected topology. It exists for benchmarks (measuring
+// replication overhead on single-socket machines) and the bitwise-
+// invariance tests; it does not re-pin worker threads and, like the
+// kernel-mode toggles, is not safe to call concurrently with running
+// regions.
+func ForceGroups(g int) {
+	ensure()
+	if g <= 0 {
+		workerGroup, groupCount = buildGroups(DetectTopology(), nproc)
+		return
+	}
+	wg := make([]int, nproc+1)
+	for w := 0; w < nproc; w++ {
+		wg[w] = w * g / nproc
+		if wg[w] >= g {
+			wg[w] = g - 1
+		}
+	}
+	wg[nproc] = 0
+	workerGroup, groupCount = wg, g
+}
+
+// groupOf maps a worker lane to its socket group. Out-of-range lanes
+// (the -1 serial marker) land in group 0.
+func groupOf(worker int) int {
+	if worker < 0 || worker >= len(workerGroup) {
+		return 0
+	}
+	return workerGroup[worker]
 }
 
 // Do runs fn(i) for every i in [0,n), distributing the indices across the
@@ -120,7 +227,20 @@ func Size() int {
 // A panic inside fn is contained by the recover barrier and re-raised
 // here, on the caller, as a *PanicError; pool worker goroutines survive.
 func Do(n, workers int, fn func(i int)) {
-	if err := run(nil, n, workers, fn); err != nil {
+	if err := run(nil, n, workers, fn, nil); err != nil {
+		panic(err)
+	}
+}
+
+// DoGrouped is Do with socket awareness: fn additionally receives the
+// executing worker's socket group in [0, Groups()), so the job can read
+// group-local state (a socket's B-panel replica). Work stealing is
+// unchanged — any worker may claim any index — which is safe precisely
+// because per-group state must hold identical bytes in every replica;
+// results are therefore bitwise independent of the grouping, worker
+// count, and steal order. The region caller participates as group 0.
+func DoGrouped(n, workers int, fn func(i, group int)) {
+	if err := run(nil, n, workers, nil, fn); err != nil {
 		panic(err)
 	}
 }
@@ -136,20 +256,47 @@ func DoCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 		mCancelled.Load().Inc()
 		return err
 	}
-	return run(ctx, n, workers, fn)
+	return run(ctx, n, workers, fn, nil)
 }
 
-// region is the shared state of one parallel Do/DoCtx invocation.
+// region is the shared state of one parallel Do/DoCtx/DoGrouped
+// invocation. Regions are recycled through a sync.Pool: together with the
+// single hoisted helper closure in run, a steady-state parallel region
+// allocates one closure, not one region + one closure per helper — the
+// fix for the per-K-block allocation growth the benchmark file showed at
+// n=512 (allocs_per_op doubling with the K-block count).
 type region struct {
 	n    int64
 	fn   func(i int)
-	next atomic.Int64 // work-stealing index counter
-	done atomic.Int64 // indices that completed normally
-	stop atomic.Bool  // no further indices: panic or cancellation
+	fng  func(i, group int)
+	rec  *trace.Recorder
+	task func(worker int) // created once per region object, reused forever
+	next atomic.Int64     // work-stealing index counter
+	done atomic.Int64     // indices that completed normally
+	stop atomic.Bool      // no further indices: panic or cancellation
+	wg   sync.WaitGroup
 
 	mu   sync.Mutex
 	perr *PanicError
 }
+
+var regionPool = sync.Pool{New: func() any {
+	r := new(region)
+	// The helper task is bound to the region object, not the invocation:
+	// recycling the region recycles the closure, so a steady-state
+	// parallel region performs zero heap allocations.
+	r.task = func(worker int) {
+		defer r.wg.Done()
+		if rec := r.rec; rec != nil {
+			t0 := rec.Start()
+			r.loop(worker)
+			rec.Since(worker, "pool.Do", -1, t0)
+			return
+		}
+		r.loop(worker)
+	}
+	return r
+}}
 
 // protect runs fn(i) behind the recover barrier. A nil return means the
 // job completed; non-nil carries the contained panic. It allocates only
@@ -161,6 +308,17 @@ func protect(fn func(i int), worker, i int) (pe *PanicError) {
 		}
 	}()
 	fn(i)
+	return nil
+}
+
+// protectG is protect for group-aware jobs.
+func protectG(fn func(i, group int), worker, i, group int) (pe *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe = &PanicError{Worker: worker, Value: v, Stack: string(debug.Stack())}
+		}
+	}()
+	fn(i, group)
 	return nil
 }
 
@@ -177,12 +335,23 @@ func (r *region) panicked(pe *PanicError) {
 
 // loop drains indices until the space is exhausted or the region stopped.
 func (r *region) loop(worker int) {
+	fng := r.fng
+	group := 0
+	if fng != nil {
+		group = groupOf(worker)
+	}
 	for !r.stop.Load() {
 		i := r.next.Add(1) - 1
 		if i >= r.n {
 			return
 		}
-		if pe := protect(r.fn, worker, int(i)); pe != nil {
+		var pe *PanicError
+		if fng != nil {
+			pe = protectG(fng, worker, int(i), group)
+		} else {
+			pe = protect(r.fn, worker, int(i))
+		}
+		if pe != nil {
 			r.panicked(pe)
 			return
 		}
@@ -190,8 +359,9 @@ func (r *region) loop(worker int) {
 	}
 }
 
-// run is the shared driver behind Do (ctx == nil) and DoCtx.
-func run(ctx context.Context, n, workers int, fn func(i int)) error {
+// run is the shared driver behind Do/DoGrouped (ctx == nil) and DoCtx.
+// Exactly one of fn and fng is non-nil.
+func run(ctx context.Context, n, workers int, fn func(i int), fng func(i, group int)) error {
 	if n <= 0 {
 		return nil
 	}
@@ -207,7 +377,13 @@ func run(ctx context.Context, n, workers int, fn func(i int)) error {
 					return err
 				}
 			}
-			if pe := protect(fn, -1, i); pe != nil {
+			var pe *PanicError
+			if fng != nil {
+				pe = protectG(fng, -1, i, 0)
+			} else {
+				pe = protect(fn, -1, i)
+			}
+			if pe != nil {
 				mPanicsCnt.Load().Inc()
 				return pe
 			}
@@ -217,30 +393,24 @@ func run(ctx context.Context, n, workers int, fn func(i int)) error {
 	ensure()
 	mRegions.Load().Inc()
 	rec := obsTrace.Load()
-	r := &region{n: int64(n), fn: fn}
+	r := regionPool.Get().(*region)
+	r.n, r.fn, r.fng, r.rec = int64(n), fn, fng, rec
+	r.next.Store(0)
+	r.done.Store(0)
+	r.stop.Store(false)
+	r.perr = nil
 	if ctx != nil {
 		unwatch := context.AfterFunc(ctx, func() { r.stop.Store(true) })
 		defer unwatch()
 	}
-	var wg sync.WaitGroup
 	for h := 0; h < workers-1; h++ {
-		wg.Add(1)
-		task := func(worker int) {
-			defer wg.Done()
-			if rec != nil {
-				t0 := rec.Start()
-				r.loop(worker)
-				rec.Since(worker, "pool.Do", -1, t0)
-				return
-			}
-			r.loop(worker)
-		}
+		r.wg.Add(1)
 		select {
-		case submit <- task:
+		case submit <- r.task:
 		default:
 			// Queue full: run with fewer helpers instead of blocking.
 			mDrops.Load().Inc()
-			wg.Done()
+			r.wg.Done()
 			h = workers // stop submitting
 		}
 	}
@@ -252,15 +422,16 @@ func run(ctx context.Context, n, workers int, fn func(i int)) error {
 	} else {
 		r.loop(nproc)
 	}
-	wg.Wait()
+	r.wg.Wait()
 
-	r.mu.Lock()
 	perr := r.perr
-	r.mu.Unlock()
+	completed := r.done.Load() == r.n
+	r.fn, r.fng, r.rec, r.perr = nil, nil, nil, nil
+	regionPool.Put(r)
 	if perr != nil {
 		return perr
 	}
-	if r.done.Load() == r.n {
+	if completed {
 		return nil
 	}
 	// Cut short without a panic: only cancellation can have stopped us.
